@@ -1,0 +1,168 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table/figure of the paper's evaluation
+   (Section 6.2) by running the full simulation sweep and printing the
+   series the paper plots — Figures 8a/8b, 9a/9b, 10a/10b, 11, 12a/12b,
+   13, plus the Section 6.2 headline geomeans.
+
+   Part 2 runs Bechamel microbenchmarks of the framework's own algorithms
+   (DPipe scheduling, bipartition enumeration, MCTS, the cascade
+   interpreter, full strategy evaluations), so regressions in the
+   scheduler itself are visible.
+
+   Pass --quick to use the reduced sequence sweep. *)
+
+open Bechamel
+open Toolkit
+module E = Tf_experiments
+module Strategies = Transfusion.Strategies
+
+let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: the paper's figures                                         *)
+
+let figures () =
+  let archs = [ Tf_arch.Presets.cloud; Tf_arch.Presets.edge ] in
+  let llama3 = Tf_workloads.Presets.llama3 in
+  E.Fig8_speedup.print
+    ~title:"Fig 8a: Llama3 speedup over Unfused across sequence lengths (cloud, edge)"
+    (E.Fig8_speedup.scaling ~quick archs llama3);
+  E.Fig8_speedup.print ~title:"Fig 8b: model-wise speedup over Unfused at 64K (cloud)"
+    (E.Fig8_speedup.model_wise Tf_arch.Presets.cloud);
+  E.Fig9_pe_size.print ~title:"Fig 9a: Llama3 speedup, edge 2D PE 32x32 and 64x64"
+    (E.Fig9_pe_size.scaling ~quick llama3);
+  E.Fig9_pe_size.print ~title:"Fig 9b: model-wise speedup at 64K, edge 2D PE 32x32 and 64x64"
+    (E.Fig9_pe_size.model_wise ());
+  E.Fig10_utilization.print ~title:"Fig 10a: 1D/2D PE utilization, Llama3 (cloud)"
+    (E.Fig10_utilization.scaling ~quick Tf_arch.Presets.cloud llama3);
+  E.Fig10_utilization.print ~title:"Fig 10b: 1D/2D PE utilization, models at 64K (cloud)"
+    (E.Fig10_utilization.model_wise Tf_arch.Presets.cloud);
+  E.Fig11_contribution.print
+    ~title:"Fig 11: per-layer speedup contribution, TransFusion over FuseMax (Llama3)"
+    (E.Fig11_contribution.scaling ~quick archs llama3);
+  E.Fig12_energy.print ~title:"Fig 12a: Llama3 energy vs Unfused (cloud, edge)"
+    (E.Fig12_energy.scaling ~quick archs llama3);
+  E.Fig12_energy.print ~title:"Fig 12b: model-wise energy vs Unfused at 64K (cloud)"
+    (E.Fig12_energy.model_wise Tf_arch.Presets.cloud);
+  E.Fig13_breakdown.print ~title:"Fig 13: energy breakdown across the memory hierarchy (Llama3)"
+    (E.Fig13_breakdown.scaling ~quick archs llama3);
+  E.Exp_common.print_header "Section 6.2 headline geomeans (TransFusion vs baselines)";
+  List.iter (fun arch -> E.Headline.print (E.Headline.compute ~quick arch)) archs
+
+(* Ablations and extension studies (DESIGN.md Section 4 and the paper's
+   Section 3.2 composition claim). *)
+let ablations () =
+  let t5 = Tf_workloads.Presets.t5 in
+  let llama3 = Tf_workloads.Presets.llama3 in
+  E.Ablations.print_dpipe (E.Ablations.dpipe llama3);
+  E.Ablations.print_tileseek (E.Ablations.tileseek ~iterations:150 t5);
+  E.Ablations.print_sensitivity (E.Ablations.sensitivity llama3);
+  E.Ablations.print_batch (E.Ablations.batch t5);
+  E.Ablations.print_objectives (E.Ablations.objectives t5);
+  E.Exp_structures.print ~title:"Extension: encoder / decoder / encoder-decoder (edge, T5, 16K)"
+    (E.Exp_structures.run Tf_arch.Presets.edge t5);
+  E.Exp_roofline.print ~title:"Analysis: per-module roofline classification (Llama3)"
+    (E.Exp_roofline.run ~quick:true [ Tf_arch.Presets.cloud; Tf_arch.Presets.edge ] llama3)
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: microbenchmarks of the framework itself                     *)
+
+let workload = Tf_workloads.Workload.v Tf_workloads.Presets.bert ~seq_len:4096
+let cloud = Tf_arch.Presets.cloud
+let edge = Tf_arch.Presets.edge
+
+let mha_dag_bench () =
+  let cascade = Transfusion.Cascades.mha () in
+  let totals = Array.of_list (Transfusion.Layer_costs.op_totals workload cascade) in
+  let g = Tf_einsum.Cascade.to_dag cascade in
+  let load n = totals.(n).Transfusion.Layer_costs.total /. 256. in
+  let matrix n = Tf_einsum.Einsum.is_matrix_op totals.(n).Transfusion.Layer_costs.op in
+  fun () -> ignore (Transfusion.Dpipe.schedule cloud ~load ~matrix g)
+
+let full_layer_dag_bench () =
+  let cascade = Transfusion.Cascades.full_layer Tf_einsum.Scalar_op.Gelu in
+  let totals = Array.of_list (Transfusion.Layer_costs.op_totals workload cascade) in
+  let g = Tf_einsum.Cascade.to_dag cascade in
+  let load n = totals.(n).Transfusion.Layer_costs.total /. 256. in
+  let matrix n = Tf_einsum.Einsum.is_matrix_op totals.(n).Transfusion.Layer_costs.op in
+  fun () -> ignore (Transfusion.Dpipe.schedule edge ~load ~matrix g)
+
+let partition_bench () =
+  let g = Tf_einsum.Cascade.to_dag (Transfusion.Cascades.full_layer Tf_einsum.Scalar_op.Gelu) in
+  fun () -> ignore (Tf_dag.Partition.enumerate ~limit:512 g)
+
+let mcts_bench () =
+  let problem =
+    {
+      Transfusion.Mcts.actions = (fun path -> if List.length path < 3 then [ 0; 1; 2; 3 ] else []);
+      reward = (fun path -> float_of_int (List.fold_left ( + ) 0 path));
+    }
+  in
+  fun () ->
+    let rng = Random.State.make [| 1 |] in
+    ignore (Transfusion.Mcts.search ~rng ~iterations:100 problem)
+
+let interp_bench () =
+  let rng = Random.State.make [| 5 |] in
+  let extents = Tf_einsum.Extents.of_list [ ("h", 2); ("e", 8); ("f", 8); ("p", 8); ("m0", 8) ] in
+  let nd shape = Tf_tensor.Nd.random rng shape in
+  let inputs =
+    [
+      ("Q", nd [| 2; 8; 8 |]);
+      ("BK", nd [| 2; 8; 8 |]);
+      ("BV", nd [| 2; 8; 8 |]);
+      ("RM_prev", Tf_tensor.Nd.create [| 2; 8 |] Float.neg_infinity);
+      ("RD_prev", Tf_tensor.Nd.create [| 2; 8 |] 0.);
+      ("RNV_prev", Tf_tensor.Nd.create [| 2; 8; 8 |] 0.);
+    ]
+  in
+  let cascade = Transfusion.Cascades.mha () in
+  fun () -> ignore (Tf_tensor.Cascade_interp.run extents cascade ~inputs)
+
+let streaming_attention_bench () =
+  let rng = Random.State.make [| 6 |] in
+  let q = Tf_tensor.Nd.random rng [| 16; 16 |] in
+  let k = Tf_tensor.Nd.random rng [| 64; 16 |] in
+  let v = Tf_tensor.Nd.random rng [| 64; 16 |] in
+  fun () -> ignore (Tf_tensor.Attention.streaming_one_pass ~m0:16 ~q ~k ~v ())
+
+let evaluate_bench strategy () =
+ fun () -> ignore (Strategies.evaluate ~tileseek_iterations:30 edge workload strategy)
+
+let tests () =
+  [
+    Test.make ~name:"dpipe/mha-dag(cloud)" (Staged.stage (mha_dag_bench ()));
+    Test.make ~name:"dpipe/full-layer-dag(edge)" (Staged.stage (full_layer_dag_bench ()));
+    Test.make ~name:"dag/partition-enumerate(29)" (Staged.stage (partition_bench ()));
+    Test.make ~name:"tileseek/mcts-100-iters" (Staged.stage (mcts_bench ()));
+    Test.make ~name:"tensor/interp-mha-tile" (Staged.stage (interp_bench ()));
+    Test.make ~name:"tensor/streaming-attention" (Staged.stage (streaming_attention_bench ()));
+    Test.make ~name:"strategy/evaluate-fusemax" (Staged.stage (evaluate_bench Strategies.Fusemax ()));
+    Test.make ~name:"strategy/evaluate-transfusion"
+      (Staged.stage (evaluate_bench Strategies.Transfusion ()));
+  ]
+
+let microbench () =
+  E.Exp_common.print_header "Microbenchmarks (Bechamel, ns per run)";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"transfusion" (tests ())) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) results [] in
+  List.iter
+    (fun (name, ols_result) ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with Some (e :: _) -> e | _ -> Float.nan
+      in
+      Printf.printf "%-50s %16.1f ns/run%s\n" name estimate
+        (match Analyze.OLS.r_square ols_result with
+        | Some r2 -> Printf.sprintf "   (r2=%.3f)" r2
+        | None -> ""))
+    (List.sort compare rows)
+
+let () =
+  figures ();
+  ablations ();
+  microbench ()

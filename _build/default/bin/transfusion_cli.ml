@@ -1,0 +1,383 @@
+(* Command-line driver for the TransFusion framework.
+
+   Subcommands:
+     eval      evaluate one (arch, model, seq, strategy) point
+     sweep     speedup table across the sequence sweep
+     search    run TileSeek and report the chosen tiling
+     schedule  show the DPipe schedule of the fused layer
+     figures   regenerate the paper's figures (also see bench/main.exe) *)
+
+open Cmdliner
+module Strategies = Transfusion.Strategies
+module Latency = Tf_costmodel.Latency
+module Energy = Tf_costmodel.Energy
+
+let arch_conv =
+  let parse s =
+    match Tf_arch.Presets.by_name s with
+    | Some a -> Ok a
+    | None -> Error (`Msg (Printf.sprintf "unknown architecture %S (cloud|edge|edge_32|edge_64)" s))
+  in
+  Arg.conv (parse, fun ppf (a : Tf_arch.Arch.t) -> Fmt.string ppf a.Tf_arch.Arch.name)
+
+let model_conv =
+  let parse s =
+    match Tf_workloads.Presets.by_name s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "unknown model %S (BERT|TrXL|T5|XLM|Llama3)" s))
+  in
+  Arg.conv (parse, fun ppf (m : Tf_workloads.Model.t) -> Fmt.string ppf m.Tf_workloads.Model.name)
+
+let strategy_conv =
+  let parse s =
+    match Strategies.of_name s with
+    | Some t -> Ok t
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown strategy %S (%s)" s
+                (String.concat "|" (List.map Strategies.name Strategies.all))))
+  in
+  Arg.conv (parse, Strategies.pp_name)
+
+let arch_arg =
+  Arg.(value & opt arch_conv Tf_arch.Presets.cloud & info [ "a"; "arch" ] ~docv:"ARCH" ~doc:"Architecture preset.")
+
+let model_arg =
+  Arg.(
+    value
+    & opt model_conv Tf_workloads.Presets.llama3
+    & info [ "m"; "model" ] ~docv:"MODEL" ~doc:"Model preset.")
+
+let seq_arg =
+  Arg.(value & opt int 65536 & info [ "s"; "seq" ] ~docv:"LEN" ~doc:"Sequence length.")
+
+let batch_arg = Arg.(value & opt int 64 & info [ "b"; "batch" ] ~docv:"N" ~doc:"Batch size.")
+
+let iterations_arg =
+  Arg.(value & opt int 200 & info [ "iterations" ] ~docv:"N" ~doc:"TileSeek MCTS iterations.")
+
+let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sequence sweep.")
+
+let workload model seq batch = Tf_workloads.Workload.v ~batch model ~seq_len:seq
+
+let print_result (r : Strategies.result) =
+  Fmt.pr "strategy : %a@." Strategies.pp_name r.Strategies.strategy;
+  Fmt.pr "arch     : %a@." Tf_arch.Arch.pp r.Strategies.arch;
+  Fmt.pr "workload : %a@." Tf_workloads.Workload.pp r.Strategies.workload;
+  Fmt.pr "latency  : %a" Latency.pp r.Strategies.latency;
+  Fmt.pr "energy   : %a@." Energy.pp r.Strategies.energy;
+  (match r.Strategies.tiling with
+  | Some c ->
+      Fmt.pr "tiling   : b=%d d=%d p=%d m1=%d m0=%d s=%d@." c.Transfusion.Tileseek.b
+        c.Transfusion.Tileseek.d c.Transfusion.Tileseek.p c.Transfusion.Tileseek.m1
+        c.Transfusion.Tileseek.m0 c.Transfusion.Tileseek.s
+  | None -> ())
+
+let eval_cmd =
+  let run arch model seq batch strategy iterations =
+    let w = workload model seq batch in
+    print_result (Strategies.evaluate ~tileseek_iterations:iterations arch w strategy)
+  in
+  let strategy_arg =
+    Arg.(
+      value
+      & opt strategy_conv Strategies.Transfusion
+      & info [ "strategy" ] ~docv:"STRATEGY" ~doc:"Scheduler to evaluate.")
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate one scheduling strategy on one workload")
+    Term.(const run $ arch_arg $ model_arg $ seq_arg $ batch_arg $ strategy_arg $ iterations_arg)
+
+let sweep_cmd =
+  let run arch model quick =
+    Tf_experiments.Fig8_speedup.print
+      ~title:(Printf.sprintf "Speedup over Unfused: %s" model.Tf_workloads.Model.name)
+      (Tf_experiments.Fig8_speedup.scaling ~quick [ arch ] model)
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Speedup table across the sequence sweep")
+    Term.(const run $ arch_arg $ model_arg $ quick_arg)
+
+let search_cmd =
+  let run arch model seq batch iterations =
+    let w = workload model seq batch in
+    let evaluate config =
+      let phases, _ = Strategies.phases ~tiling:config arch w Strategies.Transfusion in
+      (Latency.evaluate arch phases).Latency.total_s
+    in
+    let config, stats = Transfusion.Tileseek.search ~iterations arch w ~evaluate () in
+    Fmt.pr "TileSeek result: b=%d d=%d p=%d m1=%d m0=%d s=%d@." config.Transfusion.Tileseek.b
+      config.Transfusion.Tileseek.d config.Transfusion.Tileseek.p config.Transfusion.Tileseek.m1
+      config.Transfusion.Tileseek.m0 config.Transfusion.Tileseek.s;
+    Fmt.pr "buffer need: %.0f elements of %d available@."
+      (Transfusion.Buffer_req.worst (Transfusion.Tileseek.dims arch w config))
+      (Tf_arch.Arch.buffer_elements arch);
+    Fmt.pr "MCTS: %d iterations, %d terminals, best reward %.3f, %d tree nodes@."
+      stats.Transfusion.Mcts.iterations stats.Transfusion.Mcts.terminals_evaluated
+      stats.Transfusion.Mcts.best_reward stats.Transfusion.Mcts.tree_nodes;
+    Fmt.pr "latency with this tiling: %.4e s@." (evaluate config)
+  in
+  Cmd.v
+    (Cmd.info "search" ~doc:"Run TileSeek outer-tiling search")
+    Term.(const run $ arch_arg $ model_arg $ seq_arg $ batch_arg $ iterations_arg)
+
+let schedule_cmd =
+  let run arch model seq batch =
+    let w = workload model seq batch in
+    let cascade = Transfusion.Cascades.full_layer model.Tf_workloads.Model.activation in
+    let totals = Transfusion.Layer_costs.op_totals w cascade in
+    let arr = Array.of_list totals in
+    let g = Tf_einsum.Cascade.to_dag cascade in
+    let load n = arr.(n).Transfusion.Layer_costs.total /. 256. in
+    let matrix n = Tf_einsum.Einsum.is_matrix_op arr.(n).Transfusion.Layer_costs.op in
+    let sched = Transfusion.Dpipe.schedule arch ~load ~matrix g in
+    Fmt.pr "fused-layer DAG: %d ops, %d edges@." (Tf_dag.Dag.node_count g) (Tf_dag.Dag.edge_count g);
+    (match sched.Transfusion.Dpipe.partition with
+    | Some p ->
+        let name side = String.concat " " (List.map (fun i -> arr.(i).Transfusion.Layer_costs.op.Tf_einsum.Einsum.name) side) in
+        Fmt.pr "stage 1: %s@." (name p.Tf_dag.Partition.first);
+        Fmt.pr "stage 2: %s@." (name p.Tf_dag.Partition.second)
+    | None -> Fmt.pr "no valid bipartition; single-stage schedule@.");
+    Fmt.pr "steady interval: %.4e cycles/epoch, unrolled makespan %.4e cycles@."
+      sched.Transfusion.Dpipe.steady_interval_cycles sched.Transfusion.Dpipe.makespan_cycles;
+    let by_resource r =
+      List.filter (fun (a : Transfusion.Dpipe.assignment) -> a.Transfusion.Dpipe.resource = r)
+        sched.Transfusion.Dpipe.assignments
+      |> List.length
+    in
+    Fmt.pr "instance assignments: %d on 2D, %d on 1D@." (by_resource Tf_arch.Arch.Pe_2d)
+      (by_resource Tf_arch.Arch.Pe_1d);
+    Fmt.pr "@.%s@."
+      (Transfusion.Pipeline_sim.gantt
+         ~label:(fun n -> arr.(n).Transfusion.Layer_costs.op.Tf_einsum.Einsum.name)
+         sched)
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Show the DPipe schedule of the fused layer")
+    Term.(const run $ arch_arg $ model_arg $ seq_arg $ batch_arg)
+
+let figures_cmd =
+  let run quick =
+    let module E = Tf_experiments in
+    let archs = [ Tf_arch.Presets.cloud; Tf_arch.Presets.edge ] in
+    let llama3 = Tf_workloads.Presets.llama3 in
+    E.Fig8_speedup.print ~title:"Fig 8a: Llama3 speedup over Unfused (cloud, edge)"
+      (E.Fig8_speedup.scaling ~quick archs llama3);
+    E.Fig8_speedup.print ~title:"Fig 8b: model-wise speedup at 64K (cloud)"
+      (E.Fig8_speedup.model_wise Tf_arch.Presets.cloud);
+    E.Fig9_pe_size.print ~title:"Fig 9a: Llama3 speedup, edge 32x32 / 64x64"
+      (E.Fig9_pe_size.scaling ~quick llama3);
+    E.Fig9_pe_size.print ~title:"Fig 9b: model-wise speedup at 64K, edge 32x32 / 64x64"
+      (E.Fig9_pe_size.model_wise ());
+    E.Fig10_utilization.print ~title:"Fig 10a: PE utilization, Llama3 (cloud)"
+      (E.Fig10_utilization.scaling ~quick Tf_arch.Presets.cloud llama3);
+    E.Fig10_utilization.print ~title:"Fig 10b: PE utilization, models at 64K (cloud)"
+      (E.Fig10_utilization.model_wise Tf_arch.Presets.cloud);
+    E.Fig11_contribution.print ~title:"Fig 11: speedup contribution (TransFusion over FuseMax)"
+      (E.Fig11_contribution.scaling ~quick archs llama3);
+    E.Fig12_energy.print ~title:"Fig 12a: Llama3 energy vs Unfused (cloud, edge)"
+      (E.Fig12_energy.scaling ~quick archs llama3);
+    E.Fig12_energy.print ~title:"Fig 12b: model-wise energy at 64K (cloud)"
+      (E.Fig12_energy.model_wise Tf_arch.Presets.cloud);
+    E.Fig13_breakdown.print ~title:"Fig 13: energy breakdown (TransFusion / FuseMax)"
+      (E.Fig13_breakdown.scaling ~quick archs llama3);
+    Tf_experiments.Exp_common.print_header "Headline geomeans (Section 6.2)";
+    List.iter (fun arch -> E.Headline.print (E.Headline.compute ~quick arch)) archs
+  in
+  Cmd.v (Cmd.info "figures" ~doc:"Regenerate the paper's figures") Term.(const run $ quick_arg)
+
+let ablations_cmd =
+  let run model =
+    let module E = Tf_experiments in
+    E.Ablations.print_dpipe (E.Ablations.dpipe model);
+    E.Ablations.print_tileseek (E.Ablations.tileseek model);
+    E.Ablations.print_sensitivity (E.Ablations.sensitivity model);
+    E.Ablations.print_batch (E.Ablations.batch model);
+    E.Ablations.print_objectives (E.Ablations.objectives model)
+  in
+  Cmd.v
+    (Cmd.info "ablations" ~doc:"Run the design-choice ablation studies")
+    Term.(const run $ model_arg)
+
+let structures_cmd =
+  let run arch model seq =
+    Tf_experiments.Exp_structures.print
+      ~title:
+        (Printf.sprintf "Encoder / decoder / encoder-decoder: %s on %s"
+           model.Tf_workloads.Model.name arch.Tf_arch.Arch.name)
+      (Tf_experiments.Exp_structures.run ~seq arch model)
+  in
+  Cmd.v
+    (Cmd.info "structures" ~doc:"Evaluate encoder/decoder/hybrid structures")
+    Term.(const run $ arch_arg $ model_arg $ seq_arg)
+
+let cascade_cmd =
+  let run arch file extents_spec =
+    let contents =
+      let ic = open_in file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Tf_einsum.Parser.cascade_of_string contents with
+    | Error e ->
+        Fmt.epr "parse error: %s@." e;
+        exit 1
+    | Ok cascade -> (
+        Fmt.pr "%a@." Tf_einsum.Cascade.pp cascade;
+        let g = Tf_einsum.Cascade.to_dag cascade in
+        Fmt.pr "DAG: %d ops, %d edges; externals: %s; results: %s@."
+          (Tf_dag.Dag.node_count g) (Tf_dag.Dag.edge_count g)
+          (String.concat " " (Tf_einsum.Cascade.external_inputs cascade))
+          (String.concat " " (Tf_einsum.Cascade.results cascade));
+        Fmt.pr "valid bipartitions: %d@."
+          (List.length (Tf_dag.Partition.enumerate ~limit:512 g));
+        (* Bind extents from --extent key=value flags (default 64). *)
+        let bindings =
+          List.map
+            (fun spec ->
+              match String.split_on_char '=' spec with
+              | [ k; v ] -> (k, int_of_string v)
+              | _ -> failwith (Printf.sprintf "bad --extent %S (expected name=value)" spec))
+            extents_spec
+        in
+        let extents =
+          List.fold_left
+            (fun acc index ->
+              let v = try List.assoc index bindings with Not_found -> 64 in
+              Tf_einsum.Extents.add index v acc)
+            Tf_einsum.Extents.empty
+            (Tf_einsum.Cascade.indices cascade)
+        in
+        Fmt.pr "extents: %a@." Tf_einsum.Extents.pp extents;
+        let ops = Array.of_list (Tf_einsum.Cascade.ops cascade) in
+        let load n = Tf_einsum.Einsum.compute_load extents ops.(n) in
+        let matrix n = Tf_einsum.Einsum.is_matrix_op ops.(n) in
+        let sched = Transfusion.Dpipe.schedule arch ~load ~matrix g in
+        let sequential = Transfusion.Dpipe.sequential_cycles arch ~load ~matrix g in
+        Fmt.pr "sequential: %.4e cycles/epoch; DPipe steady: %.4e (%.2fx)@." sequential
+          sched.Transfusion.Dpipe.steady_interval_cycles
+          (sequential /. sched.Transfusion.Dpipe.steady_interval_cycles);
+        match sched.Transfusion.Dpipe.partition with
+        | Some p ->
+            let names side =
+              String.concat " "
+                (List.map (fun i -> ops.(i).Tf_einsum.Einsum.name) side)
+            in
+            Fmt.pr "stages: {%s | %s}@." (names p.Tf_dag.Partition.first)
+              (names p.Tf_dag.Partition.second)
+        | None -> Fmt.pr "single-stage schedule@.")
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Cascade file.")
+  in
+  let extent_arg =
+    Arg.(value & opt_all string [] & info [ "extent" ] ~docv:"NAME=VALUE" ~doc:"Index extent binding (repeatable; default 64).")
+  in
+  Cmd.v
+    (Cmd.info "cascade" ~doc:"Parse, analyze and DPipe-schedule a cascade file")
+    Term.(const run $ arch_arg $ file_arg $ extent_arg)
+
+let pareto_cmd =
+  let run arch model seq batch iterations =
+    let w = workload model seq batch in
+    let measure config =
+      let phases, _ = Strategies.phases ~tiling:config arch w Strategies.Transfusion in
+      let lat = (Latency.evaluate arch phases).Latency.total_s in
+      let traffic =
+        Tf_costmodel.Traffic.sum
+          (List.map (fun (p : Tf_costmodel.Phase.t) -> p.Tf_costmodel.Phase.traffic) phases)
+      in
+      (lat, Energy.total_pj (Energy.of_traffic arch traffic) /. 1e12)
+    in
+    let front =
+      Transfusion.Tileseek.pareto ~iterations arch w
+        ~latency:(fun c -> fst (measure c))
+        ~energy:(fun c -> snd (measure c))
+        ()
+    in
+    Fmt.pr "%-40s %14s %14s@." "tiling (b d p m1 m0 s)" "latency(s)" "energy(J)";
+    List.iter
+      (fun ((c : Transfusion.Tileseek.config), lat, energy) ->
+        Fmt.pr "b=%-3d d=%-5d p=%-5d m1=%-2d m0=%-4d s=%-5d %14.4e %14.4e@."
+          c.Transfusion.Tileseek.b c.Transfusion.Tileseek.d c.Transfusion.Tileseek.p
+          c.Transfusion.Tileseek.m1 c.Transfusion.Tileseek.m0 c.Transfusion.Tileseek.s lat energy)
+      front
+  in
+  Cmd.v
+    (Cmd.info "pareto" ~doc:"Latency/energy Pareto front of TransFusion tilings")
+    Term.(const run $ arch_arg $ model_arg $ seq_arg $ batch_arg $ iterations_arg)
+
+let selftest_cmd =
+  let run full =
+    let checks = Tf_experiments.Selftest.run ~quick:(not full) () in
+    Tf_experiments.Selftest.print checks;
+    if not (Tf_experiments.Selftest.all_passed checks) then exit 1
+  in
+  let full_arg = Arg.(value & flag & info [ "full" ] ~doc:"Run on every architecture preset.") in
+  Cmd.v
+    (Cmd.info "selftest" ~doc:"Run the cross-cutting model invariant battery")
+    Term.(const run $ full_arg)
+
+let export_cmd =
+  let run dir quick =
+    let module E = Tf_experiments in
+    let archs = [ Tf_arch.Presets.cloud; Tf_arch.Presets.edge ] in
+    let llama3 = Tf_workloads.Presets.llama3 in
+    let strategies = Strategies.all in
+    let columns = List.map Strategies.name strategies in
+    let file name contents = E.Export.write_file ~path:(Filename.concat dir name) contents in
+    let fig8a = E.Fig8_speedup.scaling ~quick archs llama3 in
+    file "fig8a_speedup.csv"
+      (E.Export.csv ~columns
+         ~rows:
+           (List.map
+              (fun (p : E.Fig8_speedup.point) ->
+                (p.E.Fig8_speedup.arch ^ "/" ^ p.E.Fig8_speedup.label,
+                 List.map snd p.E.Fig8_speedup.speedups))
+              fig8a));
+    let fig12a = E.Fig12_energy.scaling ~quick archs llama3 in
+    file "fig12a_energy.csv"
+      (E.Export.csv ~columns
+         ~rows:
+           (List.map
+              (fun (p : E.Fig12_energy.point) ->
+                (p.E.Fig12_energy.arch ^ "/" ^ p.E.Fig12_energy.label,
+                 List.map snd p.E.Fig12_energy.energy))
+              fig12a));
+    let fig10a = E.Fig10_utilization.scaling ~quick Tf_arch.Presets.cloud llama3 in
+    file "fig10a_utilization.csv"
+      (E.Export.csv
+         ~columns:(List.concat_map (fun s -> [ Strategies.name s ^ "_2d"; Strategies.name s ^ "_1d" ]) strategies)
+         ~rows:
+           (List.map
+              (fun (p : E.Fig10_utilization.point) ->
+                ( p.E.Fig10_utilization.arch ^ "/" ^ p.E.Fig10_utilization.label,
+                  List.concat_map (fun (_, u2, u1) -> [ u2; u1 ]) p.E.Fig10_utilization.per_strategy ))
+              fig10a));
+    Fmt.pr "wrote fig8a_speedup.csv, fig12a_energy.csv, fig10a_utilization.csv to %s@." dir
+  in
+  let dir_arg =
+    Arg.(value & opt string "results" & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Write figure series as CSV files")
+    Term.(const run $ dir_arg $ quick_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info = Cmd.info "transfusion" ~version:"1.0.0" ~doc:"TransFusion end-to-end Transformer scheduling framework" in
+  exit (Cmd.eval (Cmd.group ~default info [
+         eval_cmd;
+         sweep_cmd;
+         search_cmd;
+         schedule_cmd;
+         figures_cmd;
+         ablations_cmd;
+         structures_cmd;
+         cascade_cmd;
+         pareto_cmd;
+         selftest_cmd;
+         export_cmd;
+       ]))

@@ -1,0 +1,1 @@
+examples/attention_pipeline.ml: Array Fmt List String Tf_arch Tf_dag Tf_einsum Tf_workloads Transfusion

@@ -1,0 +1,1 @@
+examples/custom_architecture.ml: Fmt List Tf_arch Tf_costmodel Tf_einsum Tf_experiments Tf_workloads Transfusion

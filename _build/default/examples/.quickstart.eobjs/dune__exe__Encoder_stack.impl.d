@@ -1,0 +1,1 @@
+examples/encoder_stack.ml: Array Float Fmt List Random Tf_arch Tf_einsum Tf_experiments Tf_tensor Transfusion

@@ -1,0 +1,1 @@
+examples/encoder_stack.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Random Tf_arch Tf_costmodel Tf_einsum Tf_tensor Tf_workloads Transfusion

@@ -1,0 +1,1 @@
+examples/tiling_search.ml: Fmt List Printf Tf_arch Tf_costmodel Tf_workloads Transfusion

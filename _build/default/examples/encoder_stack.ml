@@ -1,0 +1,65 @@
+(* End-to-end numeric validation and a cross-model study.
+
+   Part 1 executes a small encoder stack both ways — naive reference vs
+   the TransFusion dataflow (streaming 1-pass attention, outer query
+   tiles, FFN partial accumulation) — and checks they agree on real
+   numbers.  Part 2 interprets the paper's Einsum cascades directly with
+   the cascade interpreter and checks them against the same reference.
+   Part 3 runs the model-wise comparison of Figure 8b.
+
+   Run with:  dune exec examples/encoder_stack.exe *)
+
+module Nd = Tf_tensor.Nd
+module Interp = Tf_tensor.Cascade_interp
+
+let () =
+  let rng = Random.State.make [| 2024 |] in
+  let heads = 2 and d_model = 16 and ffn_hidden = 32 and p = 8 in
+  let activation = Tf_einsum.Scalar_op.Relu in
+
+  (* Part 1: three stacked layers, fused vs reference. *)
+  let layers =
+    List.init 3 (fun _ -> Tf_tensor.Transformer.random_weights rng ~d_model ~ffn_hidden)
+  in
+  let x = Nd.random rng [| p; d_model |] in
+  let reference = Tf_tensor.Transformer.stack ~heads ~activation ~layers x in
+  let fused =
+    List.fold_left
+      (fun acc w ->
+        Tf_tensor.Transformer.fused_tiled ~heads ~activation ~tile_p:4 ~tile_m0:2 ~tile_s:8 w acc)
+      x layers
+  in
+  Fmt.pr "3-layer encoder stack, fused vs reference: max |diff| = %.2e@."
+    (Nd.max_abs_diff reference fused);
+
+  (* Part 2: interpret the Add & LayerNorm Einsum cascade (paper Cascade 3)
+     and compare with the reference layernorm. *)
+  let extents = Tf_einsum.Extents.of_list [ ("h", heads); ("f", d_model / heads); ("p", p) ] in
+  let inp = Nd.random rng [| heads; d_model / heads; p |] in
+  let av = Nd.random rng [| heads; d_model / heads; p |] in
+  let inv_hf = Nd.scalar (1. /. float_of_int d_model) in
+  let outputs =
+    Interp.run extents
+      (Transfusion.Cascades.add_layernorm ())
+      ~inputs:[ ("INP", inp); ("AV", av); ("INV_HF", inv_hf) ]
+  in
+  let nr = List.assoc "NR" outputs in
+  (* Reference: rows = tokens, columns = flattened (h, f). *)
+  let rows =
+    Nd.init [| p; d_model |] (fun idx ->
+        let h = idx.(1) / (d_model / heads) and f = idx.(1) mod (d_model / heads) in
+        Nd.get inp [| h; f; idx.(0) |] +. Nd.get av [| h; f; idx.(0) |])
+  in
+  let expected = Tf_tensor.Ops.layernorm_rows rows in
+  let worst = ref 0. in
+  for i = 0 to p - 1 do
+    for j = 0 to d_model - 1 do
+      let h = j / (d_model / heads) and f = j mod (d_model / heads) in
+      worst := Float.max !worst (Float.abs (Nd.get expected [| i; j |] -. Nd.get nr [| h; f; i |]))
+    done
+  done;
+  Fmt.pr "Cascade 3 interpreter vs reference LayerNorm: max |diff| = %.2e@.@." !worst;
+
+  (* Part 3: Figure 8b — all five models at 64K on the cloud preset. *)
+  Tf_experiments.Fig8_speedup.print ~title:"Model-wise speedup at 64K (cloud)"
+    (Tf_experiments.Fig8_speedup.model_wise Tf_arch.Presets.cloud)

@@ -1,0 +1,1 @@
+lib/arch/accelergy.ml: Arch Energy_table Float Pe_array

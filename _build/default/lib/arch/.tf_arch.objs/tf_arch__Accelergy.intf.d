@@ -1,0 +1,1 @@
+lib/arch/accelergy.mli: Arch Energy_table

@@ -1,0 +1,1 @@
+lib/arch/arch.ml: Energy_table Fmt Pe_array Printf

@@ -1,0 +1,1 @@
+lib/arch/arch.mli: Energy_table Fmt Pe_array

@@ -1,0 +1,1 @@
+lib/arch/energy_table.ml: Fmt

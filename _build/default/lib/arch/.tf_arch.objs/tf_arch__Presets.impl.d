@@ -1,0 +1,1 @@
+lib/arch/presets.ml: Arch List Pe_array

@@ -1,0 +1,72 @@
+type primitive = { energy_pj : float; area_um2 : float }
+
+type t = {
+  node_nm : int;
+  fp_add : primitive;
+  fp_mul : primitive;
+  regfile_access : primitive;
+  sram_8kb_row : primitive;
+  dram_element_pj : float;
+  sram_bit_area_um2 : float;
+}
+
+(* Published 45 nm figures (Horowitz, ISSCC'14; Accelergy component
+   tables), 16-bit datapath. *)
+let node_45nm =
+  {
+    node_nm = 45;
+    fp_add = { energy_pj = 0.4; area_um2 = 1360. };
+    fp_mul = { energy_pj = 1.1; area_um2 = 1640. };
+    regfile_access = { energy_pj = 0.15; area_um2 = 120. };
+    sram_8kb_row = { energy_pj = 10.; area_um2 = 0. };
+    dram_element_pj = 200.;
+    sram_bit_area_um2 = 0.3;
+  }
+
+let scale_to_node t ~target_nm =
+  if target_nm < 1 then invalid_arg "Accelergy.scale_to_node: non-positive node";
+  let k = float_of_int target_nm /. float_of_int t.node_nm in
+  let k2 = k *. k in
+  let prim p = { energy_pj = p.energy_pj *. k2; area_um2 = p.area_um2 *. k2 } in
+  {
+    node_nm = target_nm;
+    fp_add = prim t.fp_add;
+    fp_mul = prim t.fp_mul;
+    regfile_access = prim t.regfile_access;
+    sram_8kb_row = prim t.sram_8kb_row;
+    dram_element_pj = t.dram_element_pj *. k2;
+    sram_bit_area_um2 = t.sram_bit_area_um2 *. k2;
+  }
+
+let mac t =
+  {
+    energy_pj = t.fp_add.energy_pj +. t.fp_mul.energy_pj;
+    area_um2 = t.fp_add.area_um2 +. t.fp_mul.area_um2;
+  }
+
+let buffer_access_pj t ~capacity_bytes ~row_bytes =
+  if capacity_bytes < 1 || row_bytes < 1 then
+    invalid_arg "Accelergy.buffer_access_pj: non-positive size";
+  let base_capacity = 8. *. 1024. in
+  let row_energy = t.sram_8kb_row.energy_pj *. sqrt (float_of_int capacity_bytes /. base_capacity) in
+  let elements_per_row = Float.max 1. (float_of_int row_bytes /. 2.) in
+  row_energy /. elements_per_row
+
+let energy_table ?(node = node_45nm) ?(buffer_bytes = 16 * 1024 * 1024) ?(row_bytes = 256) () =
+  {
+    Energy_table.dram_access_pj = node.dram_element_pj;
+    buffer_access_pj = buffer_access_pj node ~capacity_bytes:buffer_bytes ~row_bytes;
+    regfile_access_pj = node.regfile_access.energy_pj;
+    mac_pj = (mac node).energy_pj;
+    vector_op_pj = node.fp_add.energy_pj;
+  }
+
+let pe_area_mm2 t ~regfile_entries =
+  ((mac t).area_um2 +. (float_of_int regfile_entries *. t.regfile_access.area_um2)) /. 1e6
+
+let arch_area_mm2 t (arch : Arch.t) =
+  let pes = Pe_array.num_pes arch.Arch.pe_2d + Pe_array.num_pes arch.Arch.pe_1d in
+  let pe_area = float_of_int pes *. pe_area_mm2 t ~regfile_entries:10 in
+  let buffer_bits = float_of_int arch.Arch.buffer_bytes *. 8. in
+  let buffer_area = buffer_bits *. t.sram_bit_area_um2 /. 1e6 in
+  pe_area +. buffer_area

@@ -1,0 +1,63 @@
+type resource = Pe_1d | Pe_2d
+
+type t = {
+  name : string;
+  pe_2d : Pe_array.t;
+  pe_1d : Pe_array.t;
+  buffer_bytes : int;
+  dram_bw_bytes_per_s : float;
+  clock_hz : float;
+  element_bytes : int;
+  vector_eff_2d : float;
+  matrix_eff_1d : float;
+  energy : Energy_table.t;
+}
+
+let v ?(clock_hz = 1e9) ?(element_bytes = 2) ?(vector_eff_2d = 0.25) ?(matrix_eff_1d = 1.0)
+    ?(energy = Energy_table.default_45nm) ~name ~pe_2d ~pe_1d ~buffer_bytes ~dram_bw_bytes_per_s ()
+    =
+  if buffer_bytes < 1 then invalid_arg "Arch.v: buffer_bytes < 1";
+  if dram_bw_bytes_per_s <= 0. then invalid_arg "Arch.v: non-positive bandwidth";
+  if clock_hz <= 0. then invalid_arg "Arch.v: non-positive clock";
+  if element_bytes < 1 then invalid_arg "Arch.v: element_bytes < 1";
+  let check_eff label e =
+    if not (e > 0. && e <= 1.) then invalid_arg (Printf.sprintf "Arch.v: %s outside (0,1]" label)
+  in
+  check_eff "vector_eff_2d" vector_eff_2d;
+  check_eff "matrix_eff_1d" matrix_eff_1d;
+  {
+    name;
+    pe_2d;
+    pe_1d;
+    buffer_bytes;
+    dram_bw_bytes_per_s;
+    clock_hz;
+    element_bytes;
+    vector_eff_2d;
+    matrix_eff_1d;
+    energy;
+  }
+
+let array_of t = function Pe_1d -> t.pe_1d | Pe_2d -> t.pe_2d
+
+let effective_pes t resource ~matrix =
+  let peak = float_of_int (Pe_array.num_pes (array_of t resource)) in
+  match (resource, matrix) with
+  | Pe_2d, true -> peak
+  | Pe_2d, false -> peak *. t.vector_eff_2d
+  | Pe_1d, true -> peak *. t.matrix_eff_1d
+  | Pe_1d, false -> peak
+
+let buffer_elements t = t.buffer_bytes / t.element_bytes
+let bytes_to_seconds t bytes = bytes /. t.dram_bw_bytes_per_s
+let cycles_to_seconds t cycles = cycles /. t.clock_hz
+
+let resource_to_string = function Pe_1d -> "1D" | Pe_2d -> "2D"
+let pp_resource ppf r = Fmt.string ppf (resource_to_string r)
+
+let pp ppf t =
+  Fmt.pf ppf "%s: 2D=%a 1D=%a buffer=%dMB bw=%.0fGB/s clk=%.1fGHz" t.name Pe_array.pp t.pe_2d
+    Pe_array.pp t.pe_1d
+    (t.buffer_bytes / (1024 * 1024))
+    (t.dram_bw_bytes_per_s /. 1e9)
+    (t.clock_hz /. 1e9)

@@ -1,0 +1,29 @@
+type t = {
+  dram_access_pj : float;
+  buffer_access_pj : float;
+  regfile_access_pj : float;
+  mac_pj : float;
+  vector_op_pj : float;
+}
+
+let default_45nm =
+  {
+    dram_access_pj = 200.0;
+    buffer_access_pj = 6.0;
+    regfile_access_pj = 0.3;
+    mac_pj = 1.0;
+    vector_op_pj = 0.5;
+  }
+
+let scale k t =
+  {
+    dram_access_pj = k *. t.dram_access_pj;
+    buffer_access_pj = k *. t.buffer_access_pj;
+    regfile_access_pj = k *. t.regfile_access_pj;
+    mac_pj = k *. t.mac_pj;
+    vector_op_pj = k *. t.vector_op_pj;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "dram=%.1fpJ buffer=%.1fpJ rf=%.2fpJ mac=%.2fpJ alu=%.2fpJ" t.dram_access_pj
+    t.buffer_access_pj t.regfile_access_pj t.mac_pj t.vector_op_pj

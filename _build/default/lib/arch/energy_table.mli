@@ -1,0 +1,23 @@
+(** Per-event energy constants at the 45 nm node.
+
+    Stands in for Accelergy (paper Section 2.1): each access to a memory
+    level and each PE operation costs a fixed energy.  The defaults follow
+    the widely used 45 nm figures (Horowitz, ISSCC'14; Accelergy component
+    tables): off-chip DRAM is two orders of magnitude above large on-chip
+    SRAM, which is an order above a register file, which is comparable to a
+    16-bit MAC.  All values are picojoules per 16-bit element event. *)
+
+type t = {
+  dram_access_pj : float;  (** off-chip memory, per element transferred *)
+  buffer_access_pj : float;  (** on-chip global buffer, per element *)
+  regfile_access_pj : float;  (** PE-local register file, per element *)
+  mac_pj : float;  (** one 16-bit multiply-accumulate *)
+  vector_op_pj : float;  (** one scalar ALU slot on either array *)
+}
+
+val default_45nm : t
+
+val scale : float -> t -> t
+(** Multiply every entry — used for technology-node what-if studies. *)
+
+val pp : t Fmt.t

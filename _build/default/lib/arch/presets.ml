@@ -1,0 +1,30 @@
+let mib n = n * 1024 * 1024
+let gbps n = float_of_int n *. 1e9
+
+let cloud =
+  Arch.v ~name:"cloud"
+    ~pe_2d:(Pe_array.two_d 256 256)
+    ~pe_1d:(Pe_array.one_d 256)
+    ~buffer_bytes:(mib 16) ~dram_bw_bytes_per_s:(gbps 400) ()
+
+let edge =
+  Arch.v ~name:"edge"
+    ~pe_2d:(Pe_array.two_d 16 16)
+    ~pe_1d:(Pe_array.one_d 256)
+    ~buffer_bytes:(mib 5) ~dram_bw_bytes_per_s:(gbps 30) ()
+
+let edge_32 =
+  Arch.v ~name:"edge_32"
+    ~pe_2d:(Pe_array.two_d 32 32)
+    ~pe_1d:(Pe_array.one_d 256)
+    ~buffer_bytes:(mib 5) ~dram_bw_bytes_per_s:(gbps 30) ()
+
+let edge_64 =
+  Arch.v ~name:"edge_64"
+    ~pe_2d:(Pe_array.two_d 64 64)
+    ~pe_1d:(Pe_array.one_d 256)
+    ~buffer_bytes:(mib 8) ~dram_bw_bytes_per_s:(gbps 30) ()
+
+let all = [ cloud; edge; edge_32; edge_64 ]
+
+let by_name name = List.find_opt (fun (a : Arch.t) -> a.name = name) all

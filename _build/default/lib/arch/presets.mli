@@ -1,0 +1,22 @@
+(** The evaluated architectures (paper Table 3 and Section 6.1).
+
+    | Name      | 2D PE     | 1D PE | Buffer | DRAM BW  |
+    |-----------|-----------|-------|--------|----------|
+    | cloud     | 256 x 256 | 256   | 16 MB  | 400 GB/s |
+    | edge      | 16 x 16   | 256   | 5 MB   | 30 GB/s  |
+    | edge_32   | 32 x 32   | 256   | 5 MB   | 30 GB/s  |
+    | edge_64   | 64 x 64   | 256   | 8 MB   | 30 GB/s  |
+
+    The 32x32 and 64x64 variants are the "generalization across
+    computational capability" study of Figure 9 (the paper raises the
+    buffer to 8 MB for the 64x64 configuration). *)
+
+val cloud : Arch.t
+val edge : Arch.t
+val edge_32 : Arch.t
+val edge_64 : Arch.t
+
+val all : Arch.t list
+
+val by_name : string -> Arch.t option
+(** Lookup by preset name ("cloud", "edge", "edge_32", "edge_64"). *)

@@ -1,0 +1,1 @@
+lib/costmodel/energy.ml: Arch Energy_table Fmt Tf_arch Traffic

@@ -1,0 +1,1 @@
+lib/costmodel/energy.mli: Fmt Tf_arch Traffic

@@ -1,0 +1,1 @@
+lib/costmodel/latency.ml: Arch Float Fmt Hashtbl List Option Pe_array Phase Tf_arch Traffic

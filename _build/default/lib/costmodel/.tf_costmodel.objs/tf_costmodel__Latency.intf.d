@@ -1,0 +1,1 @@
+lib/costmodel/latency.mli: Fmt Phase Tf_arch

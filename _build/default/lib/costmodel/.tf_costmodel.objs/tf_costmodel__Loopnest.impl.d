@@ -1,0 +1,1 @@
+lib/costmodel/loopnest.ml: Einsum Extents Float Fmt List Printf Tensor_ref Tf_arch Tf_einsum

@@ -1,0 +1,1 @@
+lib/costmodel/loopnest.mli: Fmt Tf_arch Tf_einsum

@@ -1,0 +1,1 @@
+lib/costmodel/mapper.ml: Einsum Extents List Loopnest Printf Tf_einsum

@@ -1,0 +1,1 @@
+lib/costmodel/mapper.mli: Loopnest Tf_arch Tf_einsum

@@ -1,0 +1,1 @@
+lib/costmodel/phase.ml: Arch Fmt Tf_arch Traffic

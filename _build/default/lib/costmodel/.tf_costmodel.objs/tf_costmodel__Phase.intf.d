@@ -1,0 +1,1 @@
+lib/costmodel/phase.mli: Fmt Tf_arch Traffic

@@ -1,0 +1,1 @@
+lib/costmodel/roofline.ml: Arch Float Fmt List Pe_array Phase Tf_arch Tf_einsum Traffic

@@ -1,0 +1,1 @@
+lib/costmodel/roofline.mli: Fmt Phase Tf_arch Tf_einsum

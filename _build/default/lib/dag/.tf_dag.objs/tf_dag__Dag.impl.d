@@ -1,0 +1,1 @@
+lib/dag/dag.ml: Fmt Hashtbl Int List Map Printf Queue Set

@@ -1,0 +1,1 @@
+lib/dag/partition.ml: Dag Fmt Hashtbl List Topo

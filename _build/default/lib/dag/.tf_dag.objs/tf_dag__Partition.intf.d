@@ -1,0 +1,1 @@
+lib/dag/partition.mli: Dag Fmt

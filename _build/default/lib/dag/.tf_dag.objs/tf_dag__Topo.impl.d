@@ -1,0 +1,1 @@
+lib/dag/topo.ml: Dag Float Hashtbl Int List Set

@@ -1,0 +1,75 @@
+type t = { first : int list; second : int list }
+
+let split_sizes { first; second } = (List.length first, List.length second)
+
+let pp ppf { first; second } =
+  Fmt.pf ppf "{%a | %a}" Fmt.(list ~sep:(any " ") int) first Fmt.(list ~sep:(any " ") int) second
+
+let reachable_within g subset seeds =
+  let inside = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace inside id ()) subset;
+  let seen = Hashtbl.create 16 in
+  let rec visit id =
+    if Hashtbl.mem inside id && not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      List.iter visit (Dag.succs g id)
+    end
+  in
+  List.iter visit seeds;
+  seen
+
+let is_valid g { first; second } =
+  let all_nodes = Dag.nodes g in
+  let union = List.sort_uniq compare (first @ second) in
+  let disjoint = List.length first + List.length second = List.length union in
+  disjoint && union = all_nodes && first <> [] && second <> []
+  &&
+  let in_first = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace in_first id ()) first;
+  let mem_first id = Hashtbl.mem in_first id in
+  (* 1. source-sink alignment *)
+  List.for_all mem_first (Dag.sources g)
+  && List.for_all (fun id -> not (mem_first id)) (Dag.sinks g)
+  (* 2. weak connectivity of both sides *)
+  && Dag.weakly_connected g first
+  && Dag.weakly_connected g second
+  (* 3. dependency completeness of the first side *)
+  && List.for_all (fun id -> List.for_all mem_first (Dag.preds g id)) first
+  (* 4. reachability of the first side from the DAG sources, within first *)
+  &&
+  let sources_in_first = List.filter mem_first (Dag.sources g) in
+  let seen = reachable_within g first sources_in_first in
+  List.for_all (Hashtbl.mem seen) first
+
+let enumerate ?(limit = 512) g =
+  let order = Topo.sort g in
+  let sinks = Dag.sinks g in
+  let is_sink id = List.mem id sinks in
+  let results = ref [] and found = ref 0 in
+  (* Walk nodes in topological order deciding membership of the first side.
+     A node may join the first side only if all its predecessors did, which
+     enumerates exactly the predecessor-closed subsets. *)
+  let rec go remaining first_rev in_first =
+    if !found < limit then
+      match remaining with
+      | [] ->
+          let first = List.rev first_rev in
+          let second = List.filter (fun id -> not (Hashtbl.mem in_first id)) (Dag.nodes g) in
+          let candidate = { first; second } in
+          if is_valid g candidate then begin
+            incr found;
+            results := candidate :: !results
+          end
+      | id :: rest ->
+          (* Branch 1: id goes to the second side. *)
+          go rest first_rev in_first;
+          (* Branch 2: id goes to the first side, if permitted. *)
+          let closed = List.for_all (Hashtbl.mem in_first) (Dag.preds g id) in
+          if closed && not (is_sink id) then begin
+            Hashtbl.replace in_first id ();
+            go rest (id :: first_rev) in_first;
+            Hashtbl.remove in_first id
+          end
+  in
+  go order [] (Hashtbl.create 16);
+  List.rev !results

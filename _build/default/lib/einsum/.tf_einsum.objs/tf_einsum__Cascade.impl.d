@@ -1,0 +1,1 @@
+lib/einsum/cascade.ml: Array Einsum Extents Fmt Hashtbl List Printf Tensor_ref Tf_dag

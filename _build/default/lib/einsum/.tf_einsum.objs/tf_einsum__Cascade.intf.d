@@ -1,0 +1,1 @@
+lib/einsum/cascade.mli: Einsum Extents Fmt Tensor_ref Tf_dag

@@ -1,0 +1,1 @@
+lib/einsum/einsum.ml: Extents Fmt List Option Printf Scalar_op Tensor_ref

@@ -1,0 +1,1 @@
+lib/einsum/einsum.mli: Extents Fmt Scalar_op Tensor_ref

@@ -1,0 +1,1 @@
+lib/einsum/extents.ml: Fmt List Map Printf String Tensor_ref

@@ -1,0 +1,1 @@
+lib/einsum/extents.mli: Fmt Tensor_ref

@@ -1,0 +1,1 @@
+lib/einsum/parser.ml: Buffer Cascade Einsum Fmt List Printf Result Scalar_op String Tensor_ref

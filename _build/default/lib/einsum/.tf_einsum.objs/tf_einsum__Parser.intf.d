@@ -1,0 +1,1 @@
+lib/einsum/parser.mli: Cascade Einsum

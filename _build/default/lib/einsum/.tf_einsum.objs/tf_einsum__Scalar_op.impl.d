@@ -1,0 +1,1 @@
+lib/einsum/scalar_op.ml: Float Fmt List

@@ -1,0 +1,1 @@
+lib/einsum/scalar_op.mli: Fmt

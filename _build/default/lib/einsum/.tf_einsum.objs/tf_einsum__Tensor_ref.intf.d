@@ -1,0 +1,1 @@
+lib/einsum/tensor_ref.mli: Fmt

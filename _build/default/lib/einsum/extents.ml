@@ -1,0 +1,31 @@
+module Smap = Map.Make (String)
+
+type t = int Smap.t
+
+let empty = Smap.empty
+
+let add index extent t =
+  if extent < 1 then invalid_arg (Printf.sprintf "Extents.add: extent %d for %s" extent index);
+  Smap.add index extent t
+
+let of_list l =
+  List.fold_left
+    (fun t (index, extent) ->
+      if Smap.mem index t then invalid_arg (Printf.sprintf "Extents.of_list: duplicate %s" index);
+      add index extent t)
+    empty l
+
+let find t index = Smap.find index t
+let find_opt t index = Smap.find_opt index t
+let mem t index = Smap.mem index t
+let bindings t = Smap.bindings t
+
+let product t indices =
+  List.fold_left (fun acc index -> acc * find t index) 1 indices
+
+let volume t (r : Tensor_ref.t) = product t r.indices
+
+let pp ppf t =
+  Fmt.pf ppf "{%a}"
+    Fmt.(list ~sep:(any "; ") (pair ~sep:(any "=") string int))
+    (bindings t)

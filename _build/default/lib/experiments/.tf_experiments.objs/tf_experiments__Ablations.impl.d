@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Exp_common Float List Model Printf Tf_arch Tf_costmodel Tf_einsum Tf_workloads Transfusion Workload

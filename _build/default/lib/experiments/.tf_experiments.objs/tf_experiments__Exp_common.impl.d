@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: Hashtbl List Model Presets Printf String Tf_arch Tf_workloads Transfusion Workload

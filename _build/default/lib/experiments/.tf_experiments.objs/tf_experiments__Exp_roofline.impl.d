@@ -1,0 +1,1 @@
+lib/experiments/exp_roofline.ml: Exp_common List Printf Tf_arch Tf_costmodel Tf_workloads Transfusion Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_roofline.mli: Tf_arch Tf_workloads

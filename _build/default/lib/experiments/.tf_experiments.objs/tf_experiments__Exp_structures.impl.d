@@ -1,0 +1,1 @@
+lib/experiments/exp_structures.ml: Exp_common List Model Printf Tf_arch Tf_workloads Transfusion Workload

@@ -1,0 +1,1 @@
+lib/experiments/export.ml: Buffer Filename Float Fun Int List Printf String Sys

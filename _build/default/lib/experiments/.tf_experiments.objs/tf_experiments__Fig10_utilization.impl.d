@@ -1,0 +1,1 @@
+lib/experiments/fig10_utilization.ml: Exp_common List Model Printf Tf_arch Tf_costmodel Tf_workloads Transfusion Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig10_utilization.mli: Tf_arch Tf_workloads Transfusion

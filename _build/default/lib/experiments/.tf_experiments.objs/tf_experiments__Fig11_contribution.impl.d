@@ -1,0 +1,1 @@
+lib/experiments/fig11_contribution.ml: Exp_common List Printf Tf_arch Tf_workloads Transfusion Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig11_contribution.mli: Tf_arch Tf_workloads Transfusion

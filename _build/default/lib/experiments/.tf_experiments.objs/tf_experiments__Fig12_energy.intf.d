@@ -1,0 +1,1 @@
+lib/experiments/fig12_energy.mli: Tf_arch Tf_workloads Transfusion

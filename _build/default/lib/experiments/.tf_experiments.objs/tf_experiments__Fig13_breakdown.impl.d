@@ -1,0 +1,1 @@
+lib/experiments/fig13_breakdown.ml: Exp_common List Printf Tf_arch Tf_costmodel Tf_workloads Transfusion Workload

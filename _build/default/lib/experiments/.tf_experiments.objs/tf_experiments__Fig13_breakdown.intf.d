@@ -1,0 +1,1 @@
+lib/experiments/fig13_breakdown.mli: Tf_arch Tf_workloads Transfusion

@@ -1,0 +1,1 @@
+lib/experiments/fig8_speedup.ml: Exp_common List Model Printf Tf_arch Tf_workloads Transfusion Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig8_speedup.mli: Tf_arch Tf_workloads Transfusion

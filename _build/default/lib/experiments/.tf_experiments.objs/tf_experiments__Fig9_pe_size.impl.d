@@ -1,0 +1,1 @@
+lib/experiments/fig9_pe_size.ml: Fig8_speedup List Tf_arch Transfusion

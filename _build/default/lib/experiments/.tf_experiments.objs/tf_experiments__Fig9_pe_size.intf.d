@@ -1,0 +1,1 @@
+lib/experiments/fig9_pe_size.mli: Tf_workloads Transfusion

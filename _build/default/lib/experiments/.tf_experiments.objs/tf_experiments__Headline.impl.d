@@ -1,0 +1,1 @@
+lib/experiments/headline.ml: Exp_common List Presets Printf Tf_arch Tf_workloads Transfusion Workload

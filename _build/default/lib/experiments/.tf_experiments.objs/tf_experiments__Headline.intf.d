@@ -1,0 +1,1 @@
+lib/experiments/headline.mli: Tf_arch Tf_workloads

@@ -1,0 +1,1 @@
+lib/experiments/selftest.ml: Array Exp_common List Model Presets Printf Random Tf_arch Tf_costmodel Tf_einsum Tf_tensor Tf_workloads Transfusion Workload

@@ -1,0 +1,56 @@
+open Tf_workloads
+module Strategies = Transfusion.Strategies
+
+let cache : (string, Strategies.result) Hashtbl.t = Hashtbl.create 256
+
+let evaluate ?(tileseek_iterations = 200) (arch : Tf_arch.Arch.t) (w : Workload.t) strategy =
+  let key =
+    Printf.sprintf "%s/%s/%d/%d/%s" arch.Tf_arch.Arch.name w.model.Model.name w.seq_len w.batch
+      (Strategies.name strategy)
+  in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+      let r = Strategies.evaluate ~tileseek_iterations arch w strategy in
+      Hashtbl.add cache key r;
+      r
+
+let seq_sweep ~quick =
+  if quick then [ ("1K", 1024); ("16K", 16384); ("256K", 262144) ] else Workload.seq_labels
+
+let geomean = function
+  | [] -> 1.0
+  | xs ->
+      List.iter (fun x -> if x <= 0. then invalid_arg "Exp_common.geomean: non-positive") xs;
+      exp (List.fold_left (fun acc x -> acc +. log x) 0. xs /. float_of_int (List.length xs))
+
+let speedups_over_unfused ?tileseek_iterations arch w =
+  let baseline = evaluate ?tileseek_iterations arch w Strategies.Unfused in
+  List.map
+    (fun s -> (s, Strategies.speedup ~baseline (evaluate ?tileseek_iterations arch w s)))
+    Strategies.all
+
+let energy_over_unfused ?tileseek_iterations arch w =
+  let baseline = evaluate ?tileseek_iterations arch w Strategies.Unfused in
+  List.map
+    (fun s -> (s, Strategies.energy_ratio ~baseline (evaluate ?tileseek_iterations arch w s)))
+    Strategies.all
+
+let models = Presets.all
+let seq_64k = 65536
+
+let print_header title =
+  let bar = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n= %s =\n%s\n" bar title bar
+
+let print_series_table ~row_label ~columns ~rows () =
+  let width = 12 in
+  Printf.printf "%-22s" row_label;
+  List.iter (fun c -> Printf.printf "%*s" width c) columns;
+  print_newline ();
+  List.iter
+    (fun (label, values) ->
+      Printf.printf "%-22s" label;
+      List.iter (fun v -> Printf.printf "%*.3f" width v) values;
+      print_newline ())
+    rows

@@ -1,0 +1,54 @@
+(** Shared plumbing for the paper-figure experiments.
+
+    Every figure in Section 6.2 is a deterministic function of
+    (architecture, model, sequence length, strategy); this module provides
+    a memoised evaluation cache so the figures share work, plus the
+    sweeps, geometric means and table printers they have in common. *)
+
+val evaluate :
+  ?tileseek_iterations:int ->
+  Tf_arch.Arch.t ->
+  Tf_workloads.Workload.t ->
+  Transfusion.Strategies.t ->
+  Transfusion.Strategies.result
+(** Memoised {!Transfusion.Strategies.evaluate} (key: architecture, model,
+    sequence, batch, strategy).  [tileseek_iterations] defaults to 200 and
+    is part of neither the key nor the figures' variance — the cache
+    assumes a consistent setting per process. *)
+
+val seq_sweep : quick:bool -> (string * int) list
+(** The paper's 1K-1M sweep; [quick] keeps {1K, 16K, 256K} for tests. *)
+
+val geomean : float list -> float
+(** Geometric mean; 1.0 for the empty list.
+    @raise Invalid_argument on a non-positive entry. *)
+
+val speedups_over_unfused :
+  ?tileseek_iterations:int ->
+  Tf_arch.Arch.t ->
+  Tf_workloads.Workload.t ->
+  (Transfusion.Strategies.t * float) list
+(** Speedup of every strategy relative to Unfused on this workload. *)
+
+val energy_over_unfused :
+  ?tileseek_iterations:int ->
+  Tf_arch.Arch.t ->
+  Tf_workloads.Workload.t ->
+  (Transfusion.Strategies.t * float) list
+(** Normalised energy (Unfused = 1.0). *)
+
+val models : Tf_workloads.Model.t list
+(** The five benchmark models, paper order. *)
+
+val seq_64k : int
+
+val print_header : string -> unit
+(** A boxed section header on stdout. *)
+
+val print_series_table :
+  row_label:string ->
+  columns:string list ->
+  rows:(string * float list) list ->
+  unit ->
+  unit
+(** Fixed-width numeric table printer used by all figures. *)

@@ -1,0 +1,22 @@
+(** Roofline study: which transformer modules are memory- vs
+    compute-bound, per architecture and sequence length.
+
+    This explains the shapes of Figures 8, 11 and 12: the quadratic score
+    traffic makes the unfused attention memory-bound, the linear layers
+    stay compute-bound at batch 64, and fusion's latency gains track the
+    memory-bound region. *)
+
+type row = {
+  arch : string;
+  seq : string;
+  module_name : string;
+  intensity : float;  (** compute slots per DRAM byte *)
+  bound : [ `Compute | `Memory ];
+  attainable : float;  (** fraction of peak compute attainable *)
+}
+
+val run : ?quick:bool -> Tf_arch.Arch.t list -> Tf_workloads.Model.t -> row list
+(** Unfused per-module phases plus the TransFusion fused phase, across
+    the sequence sweep. *)
+
+val print : title:string -> row list -> unit

@@ -1,0 +1,18 @@
+(** Extension study: encoder / decoder / encoder-decoder composition
+    (paper Section 3.2's shape-consistent fusion claim).
+
+    Evaluates each strategy over three structures of the same model —
+    the encoder stack, a GPT-style decoder-only stack (masked
+    self-attention), and a T5-style encoder-decoder pair — and reports
+    TransFusion's speedup over each baseline per structure. *)
+
+type row = {
+  arch : string;
+  structure : string;
+  strategy : Transfusion.Strategies.t;
+  latency_s : float;
+  speedup_vs_unfused : float;
+}
+
+val run : ?seq:int -> Tf_arch.Arch.t -> Tf_workloads.Model.t -> row list
+val print : title:string -> row list -> unit

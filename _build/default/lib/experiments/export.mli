@@ -1,0 +1,20 @@
+(** Exporting experiment series: CSV files for external plotting and
+    ASCII bar charts for terminal inspection. *)
+
+val csv : columns:string list -> rows:(string * float list) list -> string
+(** RFC-4180-ish CSV with a leading label column.  Fields containing
+    commas or quotes are quoted. *)
+
+val write_file : path:string -> string -> unit
+(** Write contents to [path], creating parent directories as needed.
+    @raise Sys_error on I/O failure. *)
+
+val bar_chart : ?width:int -> title:string -> (string * float) list -> string
+(** Horizontal ASCII bars scaled to the maximum value ([width] bar
+    columns, default 48), e.g.
+
+    {v
+    speedup over unfused
+    unfused      |#########                                       | 1.00
+    transfusion  |################################################| 4.93
+    v} *)

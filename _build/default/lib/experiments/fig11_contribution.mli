@@ -1,0 +1,12 @@
+(** Figure 11: per-layer speedup-contribution breakdown of TransFusion
+    over FuseMax (Eq. 47-48) on Llama3 across sequence lengths, cloud and
+    edge. *)
+
+type point = {
+  arch : string;
+  label : string;
+  entries : Transfusion.Speedup.entry list;  (** QKV, MHA, LayerNorm, FFN *)
+}
+
+val scaling : ?quick:bool -> Tf_arch.Arch.t list -> Tf_workloads.Model.t -> point list
+val print : title:string -> point list -> unit

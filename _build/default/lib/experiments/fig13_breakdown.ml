@@ -1,0 +1,44 @@
+open Tf_workloads
+module Strategies = Transfusion.Strategies
+module Energy = Tf_costmodel.Energy
+
+type point = {
+  arch : string;
+  label : string;
+  strategy : Strategies.t;
+  fractions : (string * float) list;
+  total_pj : float;
+}
+
+let scaling ?(quick = false) ?(strategies = [ Strategies.Transfusion; Strategies.Fusemax ]) archs
+    model =
+  List.concat_map
+    (fun (arch : Tf_arch.Arch.t) ->
+      List.concat_map
+        (fun (label, seq_len) ->
+          let w = Workload.v model ~seq_len in
+          List.map
+            (fun strategy ->
+              let r = Exp_common.evaluate arch w strategy in
+              {
+                arch = arch.Tf_arch.Arch.name;
+                label;
+                strategy;
+                fractions = Energy.fractions r.Strategies.energy;
+                total_pj = Energy.total_pj r.Strategies.energy;
+              })
+            strategies)
+        (Exp_common.seq_sweep ~quick))
+    archs
+
+let print ~title points =
+  Exp_common.print_header title;
+  let columns = [ "DRAM%"; "GlobalBuf%"; "RegFile%"; "PE%"; "total(J)" ] in
+  let rows =
+    List.map
+      (fun p ->
+        ( Printf.sprintf "%s/%s/%s" p.arch p.label (Strategies.name p.strategy),
+          List.map (fun (_, f) -> 100. *. f) p.fractions @ [ p.total_pj /. 1e12 ] ))
+      points
+  in
+  Exp_common.print_series_table ~row_label:"arch/seq/strategy" ~columns ~rows ()

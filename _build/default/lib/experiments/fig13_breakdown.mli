@@ -1,0 +1,21 @@
+(** Figure 13: energy breakdown across the memory hierarchy (DRAM, global
+    buffer, register file, PE arrays) for TransFusion and FuseMax on
+    Llama3, cloud and edge, across sequence lengths. *)
+
+type point = {
+  arch : string;
+  label : string;
+  strategy : Transfusion.Strategies.t;
+  fractions : (string * float) list;  (** DRAM / GlobalBuffer / RegisterFile / PE, sums to 1 *)
+  total_pj : float;
+}
+
+val scaling :
+  ?quick:bool ->
+  ?strategies:Transfusion.Strategies.t list ->
+  Tf_arch.Arch.t list ->
+  Tf_workloads.Model.t ->
+  point list
+(** Default strategies: TransFusion (13a) and FuseMax (13b). *)
+
+val print : title:string -> point list -> unit

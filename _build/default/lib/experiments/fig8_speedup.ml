@@ -1,0 +1,39 @@
+open Tf_workloads
+module Strategies = Transfusion.Strategies
+
+type point = {
+  arch : string;
+  label : string;
+  speedups : (Strategies.t * float) list;
+}
+
+let scaling ?(quick = false) archs model =
+  List.concat_map
+    (fun (arch : Tf_arch.Arch.t) ->
+      List.map
+        (fun (label, seq_len) ->
+          let w = Workload.v model ~seq_len in
+          { arch = arch.Tf_arch.Arch.name; label; speedups = Exp_common.speedups_over_unfused arch w })
+        (Exp_common.seq_sweep ~quick))
+    archs
+
+let model_wise ?(seq = Exp_common.seq_64k) (arch : Tf_arch.Arch.t) =
+  List.map
+    (fun (model : Model.t) ->
+      let w = Workload.v model ~seq_len:seq in
+      {
+        arch = arch.Tf_arch.Arch.name;
+        label = model.Model.name;
+        speedups = Exp_common.speedups_over_unfused arch w;
+      })
+    Exp_common.models
+
+let print ~title points =
+  Exp_common.print_header title;
+  let columns = List.map Strategies.name Strategies.all in
+  let rows =
+    List.map
+      (fun p -> (Printf.sprintf "%s/%s" p.arch p.label, List.map snd p.speedups))
+      points
+  in
+  Exp_common.print_series_table ~row_label:"arch/workload" ~columns ~rows ()

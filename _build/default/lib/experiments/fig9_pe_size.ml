@@ -1,0 +1,13 @@
+type point = Fig8_speedup.point = {
+  arch : string;
+  label : string;
+  speedups : (Transfusion.Strategies.t * float) list;
+}
+
+let variants = [ Tf_arch.Presets.edge_32; Tf_arch.Presets.edge_64 ]
+
+let scaling ?quick model = Fig8_speedup.scaling ?quick variants model
+
+let model_wise ?seq () = List.concat_map (fun arch -> Fig8_speedup.model_wise ?seq arch) variants
+
+let print = Fig8_speedup.print

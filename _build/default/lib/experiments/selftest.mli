@@ -1,0 +1,19 @@
+(** A cross-cutting battery of model invariants.
+
+    Where the unit tests check each module in isolation, the self-test
+    runs whole-pipeline consistency checks on real evaluation points:
+    strategy orderings, utilization ranges, tiling feasibility, the
+    DPipe-vs-replay agreement on the actual layer DAGs, cascade text
+    round-trips and the mapper's lower bound.  The CLI exposes it as
+    [transfusion selftest]; the test suite asserts it passes. *)
+
+type check = { name : string; passed : bool; detail : string }
+
+val run : ?quick:bool -> unit -> check list
+(** Run the battery.  [quick] (default true) restricts to one
+    architecture pair and a small workload. *)
+
+val all_passed : check list -> bool
+
+val print : check list -> unit
+(** One PASS/FAIL line per check on stdout. *)

@@ -1,0 +1,1 @@
+lib/tensor/attention.ml: Array Float Nd Ops Printf

@@ -1,0 +1,1 @@
+lib/tensor/attention.mli: Nd

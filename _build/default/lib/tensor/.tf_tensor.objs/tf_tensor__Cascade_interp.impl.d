@@ -1,0 +1,1 @@
+lib/tensor/cascade_interp.ml: Array Cascade Einsum Extents Hashtbl List Nd Printf Scalar_op String Tensor_ref Tf_einsum

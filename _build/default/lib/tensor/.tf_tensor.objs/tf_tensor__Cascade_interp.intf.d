@@ -1,0 +1,1 @@
+lib/tensor/cascade_interp.mli: Nd Tf_einsum

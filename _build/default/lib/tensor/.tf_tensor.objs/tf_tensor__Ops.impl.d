@@ -1,0 +1,1 @@
+lib/tensor/ops.ml: Array Float Nd Printf Tf_einsum

@@ -1,0 +1,1 @@
+lib/tensor/ops.mli: Nd Tf_einsum

@@ -1,0 +1,1 @@
+lib/tensor/transformer.ml: Array Attention List Nd Ops Printf

@@ -1,0 +1,1 @@
+lib/tensor/transformer.mli: Nd Random Tf_einsum

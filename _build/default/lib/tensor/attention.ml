@@ -1,0 +1,78 @@
+let check_shapes q k v =
+  match (Nd.shape q, Nd.shape k, Nd.shape v) with
+  | [| _; e |], [| m; e' |], [| m'; _ |] when e = e' && m = m' -> ()
+  | _ -> invalid_arg "Attention: expected q:PxE k:MxE v:MxF with matching E and M"
+
+let check_causal ~causal q k =
+  if causal && (Nd.shape q).(0) <> (Nd.shape k).(0) then
+    invalid_arg "Attention: causal masking requires M = P"
+
+let reference ?(scale = 1.0) ?(causal = false) ~q ~k ~v () =
+  check_shapes q k v;
+  check_causal ~causal q k;
+  let scores = Ops.scale scale (Ops.matmul q (Ops.transpose k)) in
+  let scores =
+    if causal then
+      Nd.init (Nd.shape scores) (fun idx ->
+          if idx.(1) > idx.(0) then Float.neg_infinity else Nd.get scores idx)
+    else scores
+  in
+  Ops.matmul (Ops.softmax_rows scores) v
+
+let streaming_one_pass ?(scale = 1.0) ?(causal = false) ~m0 ~q ~k ~v () =
+  check_shapes q k v;
+  check_causal ~causal q k;
+  let p = (Nd.shape q).(0) and e = (Nd.shape q).(1) in
+  let m = (Nd.shape k).(0) and f = (Nd.shape v).(1) in
+  if m0 < 1 || m mod m0 <> 0 then
+    invalid_arg (Printf.sprintf "Attention.streaming_one_pass: m0=%d must divide M=%d" m0 m);
+  let m1 = m / m0 in
+  (* Running state across the m1 loop (paper Eq. 14, 20, 22). *)
+  let rm = Nd.create [| p |] Float.neg_infinity in
+  let rd = Nd.create [| p |] 0. in
+  let rnv = Nd.create [| p; f |] 0. in
+  for tile = 0 to m1 - 1 do
+    let base = tile * m0 in
+    (* BQK (Eq. 12): scores of this tile, p x m0. *)
+    let bqk =
+      Nd.init [| p; m0 |] (fun idx ->
+          if causal && base + idx.(1) > idx.(0) then Float.neg_infinity
+          else begin
+            let acc = ref 0. in
+            for l = 0 to e - 1 do
+              acc := !acc +. (Nd.get q [| idx.(0); l |] *. Nd.get k [| base + idx.(1); l |])
+            done;
+            scale *. !acc
+          end)
+    in
+    for i = 0 to p - 1 do
+      (* Under causal masking, tiles entirely beyond query i are skipped
+         (the streaming dataflow never issues them). *)
+      if (not causal) || base <= i then begin
+      (* LM (Eq. 13) and the running-max update (Eq. 14). *)
+      let lm = ref Float.neg_infinity in
+      for j = 0 to m0 - 1 do
+        lm := Float.max !lm (Nd.get bqk [| i; j |])
+      done;
+      let rm_old = Nd.get rm [| i |] in
+      let rm_new = Float.max rm_old !lm in
+      (* SLN and SLD (Eq. 15-16). *)
+      let sld = ref 0. in
+      let sln = Array.init m0 (fun j -> exp (Nd.get bqk [| i; j |] -. rm_new)) in
+      Array.iter (fun x -> sld := !sld +. x) sln;
+      (* PRM correction of past state (Eq. 18-22). *)
+      let prm = if rm_old = Float.neg_infinity then 0. else exp (rm_old -. rm_new) in
+      Nd.set rd [| i |] ((Nd.get rd [| i |] *. prm) +. !sld);
+      for c = 0 to f - 1 do
+        let slnv = ref 0. in
+        for j = 0 to m0 - 1 do
+          slnv := !slnv +. (sln.(j) *. Nd.get v [| base + j; c |])
+        done;
+        Nd.set rnv [| i; c |] ((Nd.get rnv [| i; c |] *. prm) +. !slnv)
+      done;
+        Nd.set rm [| i |] rm_new
+      end
+    done
+  done;
+  (* AV (Eq. 23): final normalisation. *)
+  Nd.init [| p; f |] (fun idx -> Nd.get rnv idx /. Nd.get rd [| idx.(0) |])

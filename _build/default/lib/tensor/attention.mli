@@ -1,0 +1,31 @@
+(** Single-head attention dataflows.
+
+    [reference] is the textbook two-pass computation (materialise QK^T,
+    full softmax, multiply by V).  [streaming_one_pass] is the 1-pass
+    dataflow of paper Einsum Cascade 1 (FlashAttention-2 style, as used by
+    FuseMax and TransFusion): K/V are consumed in [m1] tiles of [m0]
+    columns while a running max, running denominator and running
+    numerator-times-V are maintained and rescaled with the correction
+    factor [PRM = exp(RM_old - RM_new)].
+
+    The two must agree to floating-point tolerance on any input — the
+    central correctness property of the whole fusion strategy. *)
+
+val reference :
+  ?scale:float -> ?causal:bool -> q:Nd.t -> k:Nd.t -> v:Nd.t -> unit -> Nd.t
+(** [q : P x E], [k : M x E], [v : M x F] giving [P x F].  [scale]
+    multiplies the scores before softmax (default 1.0, matching Cascade 1
+    which folds the 1/sqrt(dk) into the weights).  [causal] masks key
+    positions beyond the query position (decoder self-attention; requires
+    M = P so positions align).  Cross-attention needs no flag — pass the
+    encoder's [k]/[v].
+    @raise Invalid_argument on shape mismatch, or causal with M <> P. *)
+
+val streaming_one_pass :
+  ?scale:float -> ?causal:bool -> m0:int -> q:Nd.t -> k:Nd.t -> v:Nd.t -> unit -> Nd.t
+(** Same contract; processes keys/values in tiles of [m0].  Under
+    [causal], tiles entirely beyond a query's position are skipped and
+    the diagonal tile is masked — the streaming dataflow's masked-decoder
+    mode.
+    @raise Invalid_argument when [m0] does not divide M, on shape
+    mismatch, or causal with M <> P. *)

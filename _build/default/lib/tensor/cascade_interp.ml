@@ -1,0 +1,94 @@
+open Tf_einsum
+
+type env = (string * Nd.t) list
+
+let shape_of_ref extents (r : Tensor_ref.t) =
+  Array.of_list (List.map (Extents.find extents) r.indices)
+
+(* Project a full index assignment (name -> position) onto the coordinate
+   array of a tensor reference. *)
+let coords_of (r : Tensor_ref.t) assignment =
+  Array.of_list (List.map (fun i -> Hashtbl.find assignment i) r.indices)
+
+let eval_op extents lookup (op : Einsum.t) =
+  let out_ref = op.output in
+  let out_shape = shape_of_ref extents out_ref in
+  let assignment = Hashtbl.create 8 in
+  let bind_out idx =
+    List.iteri (fun pos name -> Hashtbl.replace assignment name idx.(pos)) out_ref.indices
+  in
+  let inputs = List.map (fun (r : Tensor_ref.t) -> (r, lookup r.tensor)) op.inputs in
+  let red_dims = Einsum.reduction_dims op in
+  let red_shape = Array.of_list (List.map (Extents.find extents) red_dims) in
+  let input_value (r, nd) = Nd.get nd (coords_of r assignment) in
+  match op.kind with
+  | Einsum.Map scalar ->
+      Nd.init out_shape (fun idx ->
+          bind_out idx;
+          Scalar_op.apply scalar (List.map input_value inputs))
+  | Einsum.Reduce monoid ->
+      let r, nd = match inputs with [ x ] -> x | _ -> invalid_arg "reduce arity" in
+      Nd.init out_shape (fun idx ->
+          bind_out idx;
+          let acc = ref (Scalar_op.reduce_identity monoid) in
+          Nd.iter_indices red_shape (fun red_idx ->
+              List.iteri (fun pos name -> Hashtbl.replace assignment name red_idx.(pos)) red_dims;
+              acc := Scalar_op.reduce_apply monoid !acc (Nd.get nd (coords_of r assignment)));
+          !acc)
+  | Einsum.Contraction ->
+      Nd.init out_shape (fun idx ->
+          bind_out idx;
+          let acc = ref 0. in
+          Nd.iter_indices red_shape (fun red_idx ->
+              List.iteri (fun pos name -> Hashtbl.replace assignment name red_idx.(pos)) red_dims;
+              let product =
+                List.fold_left (fun prod input -> prod *. input_value input) 1. inputs
+              in
+              acc := !acc +. product);
+          !acc)
+
+let check_input_shape extents (r : Tensor_ref.t) nd =
+  let expected = shape_of_ref extents r in
+  if Nd.shape nd <> expected then
+    invalid_arg
+      (Printf.sprintf "Cascade_interp: input %s has shape [%s], expected [%s]" r.tensor
+         (String.concat "," (Array.to_list (Array.map string_of_int (Nd.shape nd))))
+         (String.concat "," (Array.to_list (Array.map string_of_int expected))))
+
+let run extents cascade ~inputs =
+  (match Cascade.check_extents extents cascade with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Cascade_interp.run: " ^ msg));
+  let store = Hashtbl.create 16 in
+  List.iter (fun (name, nd) -> Hashtbl.replace store name nd) inputs;
+  List.iter
+    (fun name ->
+      if not (Hashtbl.mem store name) then
+        invalid_arg (Printf.sprintf "Cascade_interp.run: missing external input %s" name))
+    (Cascade.external_inputs cascade);
+  let lookup name =
+    match Hashtbl.find_opt store name with
+    | Some nd -> nd
+    | None -> invalid_arg (Printf.sprintf "Cascade_interp.run: unbound tensor %s" name)
+  in
+  let produced =
+    List.map
+      (fun (op : Einsum.t) ->
+        (* Validate the shapes of the externals this op consumes. *)
+        List.iter
+          (fun (r : Tensor_ref.t) ->
+            match Hashtbl.find_opt store r.tensor with
+            | Some nd -> check_input_shape extents r nd
+            | None -> ())
+          op.inputs;
+        let result = eval_op extents lookup op in
+        Hashtbl.replace store (Einsum.output_tensor op) result;
+        (Einsum.output_tensor op, result))
+      (Cascade.ops cascade)
+  in
+  produced
+
+let run_results extents cascade ~inputs =
+  let all = run extents cascade ~inputs in
+  let results = Cascade.results cascade in
+  List.filter (fun (name, _) -> List.mem name results) all

@@ -1,0 +1,165 @@
+type weights = {
+  wq : Nd.t;
+  wk : Nd.t;
+  wv : Nd.t;
+  w1 : Nd.t;
+  b1 : Nd.t;
+  w2 : Nd.t;
+  b2 : Nd.t;
+}
+
+let random_weights state ~d_model ~ffn_hidden =
+  let k = 1. /. sqrt (float_of_int d_model) in
+  let mat r c = Ops.scale k (Nd.random state [| r; c |]) in
+  {
+    wq = mat d_model d_model;
+    wk = mat d_model d_model;
+    wv = mat d_model d_model;
+    w1 = mat d_model ffn_hidden;
+    b1 = Ops.scale k (Nd.random state [| ffn_hidden |]);
+    w2 = mat ffn_hidden d_model;
+    b2 = Ops.scale k (Nd.random state [| d_model |]);
+  }
+
+let slice_rows m lo len =
+  Nd.init [| len; (Nd.shape m).(1) |] (fun idx -> Nd.get m [| lo + idx.(0); idx.(1) |])
+
+let slice_cols m lo len =
+  Nd.init [| (Nd.shape m).(0); len |] (fun idx -> Nd.get m [| idx.(0); lo + idx.(1) |])
+
+let slice_vec v lo len = Nd.init [| len |] (fun idx -> Nd.get v [| lo + idx.(0) |])
+
+let head_dim ~heads d =
+  if d mod heads <> 0 then
+    invalid_arg (Printf.sprintf "Transformer: D=%d not divisible by heads=%d" d heads);
+  d / heads
+
+(* Multi-head attention given full Q, K, V (each P/M x D), concatenating the
+   per-head outputs back into a P x D matrix. *)
+let multi_head ~heads ~attend q k v =
+  let p = (Nd.shape q).(0) and d = (Nd.shape q).(1) in
+  let e = head_dim ~heads d in
+  let out = Nd.create [| p; d |] 0. in
+  for h = 0 to heads - 1 do
+    let qh = slice_cols q (h * e) e and kh = slice_cols k (h * e) e and vh = slice_cols v (h * e) e in
+    let avh = attend ~q:qh ~k:kh ~v:vh in
+    for i = 0 to p - 1 do
+      for j = 0 to e - 1 do
+        Nd.set out [| i; (h * e) + j |] (Nd.get avh [| i; j |])
+      done
+    done
+  done;
+  out
+
+let ffn_reference ~activation w x =
+  let hidden = Ops.activation activation (Ops.add_row_bias (Ops.matmul x w.w1) w.b1) in
+  Ops.add_row_bias (Ops.matmul hidden w.w2) w.b2
+
+let reference ~heads ~activation w x =
+  let q = Ops.matmul x w.wq and k = Ops.matmul x w.wk and v = Ops.matmul x w.wv in
+  let attend ~q ~k ~v = Attention.reference ~q ~k ~v () in
+  let av = multi_head ~heads ~attend q k v in
+  let nr = Ops.layernorm_rows (Ops.add x av) in
+  ffn_reference ~activation w nr
+
+let check_tile label tile total =
+  if tile < 1 || total mod tile <> 0 then
+    invalid_arg (Printf.sprintf "Transformer.fused_tiled: %s=%d must divide %d" label tile total)
+
+let fused_tiled ~heads ~activation ~tile_p ~tile_m0 ~tile_s w x =
+  let p = (Nd.shape x).(0) and d = (Nd.shape x).(1) in
+  let s = (Nd.shape w.b1).(0) in
+  check_tile "tile_p" tile_p p;
+  check_tile "tile_m0" tile_m0 p;
+  check_tile "tile_s" tile_s s;
+  (* K and V for the whole sequence are produced once and "cached off-chip"
+     (paper Section 3.2); every outer Q tile then streams over them. *)
+  let k = Ops.matmul x w.wk and v = Ops.matmul x w.wv in
+  let out = Nd.create [| p; d |] 0. in
+  let n_tiles = p / tile_p in
+  for t = 0 to n_tiles - 1 do
+    let base = t * tile_p in
+    let xp = slice_rows x base tile_p in
+    let qp = Ops.matmul xp w.wq in
+    let attend ~q ~k ~v = Attention.streaming_one_pass ~m0:tile_m0 ~q ~k ~v () in
+    let av = multi_head ~heads ~attend qp k v in
+    let nr = Ops.layernorm_rows (Ops.add xp av) in
+    (* FFN with s-tiling: FFN2 accumulates partial products over s tiles
+       (paper Eq. 37-39 and Section 3.3, FFN paragraph). *)
+    let acc = Nd.create [| tile_p; d |] 0. in
+    let n_s = s / tile_s in
+    for st = 0 to n_s - 1 do
+      let s_base = st * tile_s in
+      let w1_t = slice_cols w.w1 s_base tile_s and b1_t = slice_vec w.b1 s_base tile_s in
+      let w2_t = slice_rows w.w2 s_base tile_s in
+      let hidden = Ops.activation activation (Ops.add_row_bias (Ops.matmul nr w1_t) b1_t) in
+      let partial = Ops.matmul hidden w2_t in
+      Nd.iter_indices (Nd.shape acc) (fun idx -> Nd.set acc idx (Nd.get acc idx +. Nd.get partial idx))
+    done;
+    let ffn2 = Ops.add_row_bias acc w.b2 in
+    for i = 0 to tile_p - 1 do
+      for j = 0 to d - 1 do
+        Nd.set out [| base + i; j |] (Nd.get ffn2 [| i; j |])
+      done
+    done
+  done;
+  out
+
+let decoder_core ~heads ~activation ~self_attend ~cross_attend w ~encoder x =
+  (* Masked self-attention with residual + layernorm. *)
+  let q1 = Ops.matmul x w.wq and k1 = Ops.matmul x w.wk and v1 = Ops.matmul x w.wv in
+  let av1 = multi_head ~heads ~attend:self_attend q1 k1 v1 in
+  let x1 = Ops.layernorm_rows (Ops.add x av1) in
+  (* Cross-attention: queries from the decoder stream, keys/values from
+     the encoder output. *)
+  let q2 = Ops.matmul x1 w.wq in
+  let k2 = Ops.matmul encoder w.wk and v2 = Ops.matmul encoder w.wv in
+  let av2 = multi_head ~heads ~attend:cross_attend q2 k2 v2 in
+  let x2 = Ops.layernorm_rows (Ops.add x1 av2) in
+  ffn_reference ~activation w x2
+
+let reference_decoder ~heads ~activation w ~encoder x =
+  decoder_core ~heads ~activation
+    ~self_attend:(fun ~q ~k ~v -> Attention.reference ~causal:true ~q ~k ~v ())
+    ~cross_attend:(fun ~q ~k ~v -> Attention.reference ~q ~k ~v ())
+    w ~encoder x
+
+let fused_tiled_decoder ~heads ~activation ~tile_p ~tile_m0 ~tile_s w ~encoder x =
+  let p = (Nd.shape x).(0) and m_enc = (Nd.shape encoder).(0) in
+  let s = (Nd.shape w.b1).(0) in
+  check_tile "tile_p" tile_p p;
+  check_tile "tile_m0 (self)" tile_m0 p;
+  check_tile "tile_m0 (cross)" tile_m0 m_enc;
+  check_tile "tile_s" tile_s s;
+  (* The streaming dataflows replace the reference attends; the FFN runs
+     with s-tiled partial accumulation on the final normalised stream. *)
+  let q1 = Ops.matmul x w.wq and k1 = Ops.matmul x w.wk and v1 = Ops.matmul x w.wv in
+  let av1 =
+    multi_head ~heads
+      ~attend:(fun ~q ~k ~v -> Attention.streaming_one_pass ~causal:true ~m0:tile_m0 ~q ~k ~v ())
+      q1 k1 v1
+  in
+  let x1 = Ops.layernorm_rows (Ops.add x av1) in
+  let q2 = Ops.matmul x1 w.wq in
+  let k2 = Ops.matmul encoder w.wk and v2 = Ops.matmul encoder w.wv in
+  let av2 =
+    multi_head ~heads
+      ~attend:(fun ~q ~k ~v -> Attention.streaming_one_pass ~m0:tile_m0 ~q ~k ~v ())
+      q2 k2 v2
+  in
+  let x2 = Ops.layernorm_rows (Ops.add x1 av2) in
+  let d = (Nd.shape x).(1) in
+  let acc = Nd.create [| p; d |] 0. in
+  let n_s = s / tile_s in
+  for st = 0 to n_s - 1 do
+    let s_base = st * tile_s in
+    let w1_t = slice_cols w.w1 s_base tile_s and b1_t = slice_vec w.b1 s_base tile_s in
+    let w2_t = slice_rows w.w2 s_base tile_s in
+    let hidden = Ops.activation activation (Ops.add_row_bias (Ops.matmul x2 w1_t) b1_t) in
+    let partial = Ops.matmul hidden w2_t in
+    Nd.iter_indices (Nd.shape acc) (fun idx -> Nd.set acc idx (Nd.get acc idx +. Nd.get partial idx))
+  done;
+  Ops.add_row_bias acc w.b2
+
+let stack ~heads ~activation ~layers x =
+  List.fold_left (fun acc w -> reference ~heads ~activation w acc) x layers

@@ -1,0 +1,80 @@
+(** Full Transformer layer: reference vs fused-tiled execution.
+
+    A layer (paper Figure 3) takes an input [X : P x D], projects Q/K/V,
+    runs multi-head attention, applies the residual Add & LayerNorm, then
+    the two-matmul FFN.  [reference] computes it naively.  [fused_tiled]
+    computes it the TransFusion way: outer tiles over the query sequence
+    [p], streaming 1-pass attention over [m0]-tiles of keys/values, and an
+    FFN whose second matmul accumulates partial results over [s]-tiles.
+    Agreement of the two is the end-to-end correctness property of the
+    paper's fusion strategy. *)
+
+type weights = {
+  wq : Nd.t;  (** D x D *)
+  wk : Nd.t;  (** D x D *)
+  wv : Nd.t;  (** D x D *)
+  w1 : Nd.t;  (** D x S *)
+  b1 : Nd.t;  (** S *)
+  w2 : Nd.t;  (** S x D *)
+  b2 : Nd.t;  (** D *)
+}
+
+val random_weights : Random.State.t -> d_model:int -> ffn_hidden:int -> weights
+(** Small uniform weights (scaled by 1/sqrt D) for validation runs. *)
+
+val reference :
+  heads:int -> activation:Tf_einsum.Scalar_op.activation -> weights -> Nd.t -> Nd.t
+(** [reference ~heads ~activation w x] with [x : P x D]; returns [P x D].
+    @raise Invalid_argument when D is not divisible by [heads] or shapes
+    mismatch. *)
+
+val fused_tiled :
+  heads:int ->
+  activation:Tf_einsum.Scalar_op.activation ->
+  tile_p:int ->
+  tile_m0:int ->
+  tile_s:int ->
+  weights ->
+  Nd.t ->
+  Nd.t
+(** Tiled/fused execution.  [tile_p] splits the query sequence (the outer
+    tile of Section 3.2), [tile_m0] the key/value sequence inside
+    attention, [tile_s] the FFN hidden dimension (partial-accumulation
+    inner tiles of Section 3.3).
+    @raise Invalid_argument when a tile does not divide its dimension. *)
+
+val reference_decoder :
+  heads:int ->
+  activation:Tf_einsum.Scalar_op.activation ->
+  weights ->
+  encoder:Nd.t ->
+  Nd.t ->
+  Nd.t
+(** A decoder layer: masked (causal) self-attention, Add & LayerNorm,
+    cross-attention over [encoder : M x D] (keys/values projected from
+    the encoder output with the same weight set), Add & LayerNorm, then
+    the FFN — the composition of paper Section 3.2.
+    @raise Invalid_argument on shape mismatch. *)
+
+val fused_tiled_decoder :
+  heads:int ->
+  activation:Tf_einsum.Scalar_op.activation ->
+  tile_p:int ->
+  tile_m0:int ->
+  tile_s:int ->
+  weights ->
+  encoder:Nd.t ->
+  Nd.t ->
+  Nd.t
+(** The decoder layer executed the TransFusion way: streaming causal
+    self-attention, streaming cross-attention over the encoder output,
+    tiled FFN accumulation.  Must agree with {!reference_decoder}.
+    @raise Invalid_argument when a tile does not divide its dimension. *)
+
+val stack :
+  heads:int ->
+  activation:Tf_einsum.Scalar_op.activation ->
+  layers:weights list ->
+  Nd.t ->
+  Nd.t
+(** Sequential encoder stack of [reference] layers. *)

@@ -1,0 +1,1 @@
+lib/transfusion/buffer_req.ml: Float Fmt List Printf Tf_workloads

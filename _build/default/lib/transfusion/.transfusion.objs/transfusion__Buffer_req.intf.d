@@ -1,0 +1,1 @@
+lib/transfusion/buffer_req.mli: Fmt Tf_workloads

@@ -1,0 +1,1 @@
+lib/transfusion/cascades.ml: Cascade Einsum Scalar_op Tensor_ref Tf_einsum

@@ -1,0 +1,1 @@
+lib/transfusion/cascades.mli: Tf_einsum

@@ -1,0 +1,1 @@
+lib/transfusion/dpipe.ml: Arch Float Fmt Hashtbl Int List Option Printf Tf_arch Tf_dag

@@ -1,0 +1,1 @@
+lib/transfusion/dpipe.mli: Fmt Tf_arch Tf_dag

@@ -1,0 +1,1 @@
+lib/transfusion/inner_mapping.ml: Arch Extents Fmt Int Pe_array Tensor_ref Tf_arch Tf_einsum

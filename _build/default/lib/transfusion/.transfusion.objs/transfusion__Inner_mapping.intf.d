@@ -1,0 +1,1 @@
+lib/transfusion/inner_mapping.mli: Fmt Tf_arch Tf_einsum

@@ -1,0 +1,1 @@
+lib/transfusion/latency_est.ml: Arch Tf_arch Tf_einsum

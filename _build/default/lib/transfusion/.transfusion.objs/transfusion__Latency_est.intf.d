@@ -1,0 +1,1 @@
+lib/transfusion/latency_est.mli: Tf_arch Tf_einsum

@@ -1,0 +1,1 @@
+lib/transfusion/layer_costs.ml: Cascade Cascades Einsum Extents List Model Option Printf Tf_einsum Tf_workloads Workload

@@ -1,0 +1,1 @@
+lib/transfusion/layer_costs.mli: Tf_einsum Tf_workloads

@@ -1,0 +1,1 @@
+lib/transfusion/mcts.ml: Float List Random

@@ -1,0 +1,1 @@
+lib/transfusion/pipeline_sim.ml: Arch Bytes Dpipe Float Hashtbl Int List Printf Stdlib Tf_arch Tf_dag

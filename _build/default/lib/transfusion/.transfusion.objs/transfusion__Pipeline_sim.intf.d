@@ -1,0 +1,1 @@
+lib/transfusion/pipeline_sim.mli: Dpipe Tf_arch Tf_dag

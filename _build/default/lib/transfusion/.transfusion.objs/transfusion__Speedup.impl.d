@@ -1,0 +1,1 @@
+lib/transfusion/speedup.ml: Fmt Latency List Phase Tf_costmodel

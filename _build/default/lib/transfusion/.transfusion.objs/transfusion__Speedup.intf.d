@@ -1,0 +1,1 @@
+lib/transfusion/speedup.mli: Fmt Tf_costmodel

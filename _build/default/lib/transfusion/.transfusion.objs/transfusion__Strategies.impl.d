@@ -1,0 +1,1 @@
+lib/transfusion/strategies.ml: Arch Array Cascades Dpipe Energy Float Fmt Hashtbl Int Latency Layer_costs List Model Phase Printf Tf_arch Tf_costmodel Tf_einsum Tf_workloads Tileseek Traffic Workload

@@ -1,0 +1,1 @@
+lib/transfusion/strategies.mli: Fmt Tf_arch Tf_costmodel Tf_workloads Tileseek

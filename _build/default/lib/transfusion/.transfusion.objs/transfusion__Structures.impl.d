@@ -1,0 +1,1 @@
+lib/transfusion/structures.ml: Energy Fmt Latency List Model Option Phase Printf Strategies String Tf_costmodel Tf_workloads Traffic

@@ -1,0 +1,1 @@
+lib/transfusion/structures.mli: Fmt Strategies Tf_arch Tf_costmodel Tf_workloads

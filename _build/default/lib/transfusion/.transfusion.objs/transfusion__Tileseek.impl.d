@@ -1,0 +1,1 @@
+lib/transfusion/tileseek.ml: Arch Array Buffer_req Fmt Int List Logs Mcts Model Pe_array Random Tf_arch Tf_workloads Workload

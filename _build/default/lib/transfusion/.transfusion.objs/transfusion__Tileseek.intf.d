@@ -1,0 +1,1 @@
+lib/transfusion/tileseek.mli: Buffer_req Mcts Tf_arch Tf_workloads

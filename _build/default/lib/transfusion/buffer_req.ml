@@ -1,0 +1,67 @@
+type dims = {
+  b : int;
+  d : int;
+  p : int;
+  m1 : int;
+  m0 : int;
+  h : int;
+  e : int;
+  f : int;
+  s : int;
+  p_row : int;
+}
+
+let fi = float_of_int
+
+let qkv { b; d; p; m1; m0; h; e; _ } =
+  (fi b *. fi d *. ((4. *. fi p) +. (3. *. fi m1 *. fi m0)))
+  +. (3. *. fi d *. fi h *. fi e)
+  +. (2. *. fi b *. fi h *. fi p)
+
+let mha { b; p; m1; m0; h; e; f; p_row; _ } =
+  (fi b *. fi h *. fi e *. (fi p +. (2. *. fi m1 *. fi m0)))
+  +. (fi b *. fi h *. fi p *. (2. +. (2. *. fi f)))
+  +. (4. *. fi m0 *. fi p_row)
+  +. (18. *. fi p_row)
+
+let add_layernorm { b; p; h; f; p_row; _ } =
+  (3. *. fi b *. fi h *. fi f *. fi p) +. (4. *. fi h *. fi f *. fi p_row)
+
+let ffn { b; p; h; f; s; p_row; _ } =
+  (fi h *. fi f *. ((2. *. fi b *. fi p) +. fi s))
+  +. (fi s *. (fi p +. 2.))
+  +. (2. *. fi s *. fi p_row)
+
+let worst dims =
+  List.fold_left Float.max 0. [ qkv dims; mha dims; add_layernorm dims; ffn dims ]
+
+let fits ~buffer_elements dims = worst dims <= float_of_int buffer_elements
+
+let of_workload (w : Tf_workloads.Workload.t) ~b ~d ~p ~m1 ~m0 ~s ~p_row =
+  if b < 1 || d < 1 || p < 1 || m1 < 1 || m0 < 1 || s < 1 || p_row < 1 then
+    invalid_arg "Buffer_req.of_workload: non-positive";
+  let m = w.model in
+  let check label tile total =
+    if tile > total || total mod tile <> 0 then
+      invalid_arg (Printf.sprintf "Buffer_req.of_workload: %s=%d must divide %d" label tile total)
+  in
+  check "b" b w.batch;
+  check "d" d m.Tf_workloads.Model.d_model;
+  check "m1*m0" (m1 * m0) w.seq_len;
+  check "s" s m.Tf_workloads.Model.ffn_hidden;
+  {
+    b;
+    d;
+    p;
+    m1;
+    m0;
+    h = m.Tf_workloads.Model.heads;
+    e = m.Tf_workloads.Model.head_dim;
+    f = m.Tf_workloads.Model.head_dim;
+    s;
+    p_row;
+  }
+
+let pp ppf d =
+  Fmt.pf ppf "B=%d P=%d M1=%d M0=%d P'=%d (D=%d H=%d E=%d F=%d S=%d)" d.b d.p d.m1 d.m0 d.p_row d.d
+    d.h d.e d.f d.s

@@ -1,0 +1,55 @@
+(** On-chip buffer requirements per fused-layer tile (paper Table 2 /
+    Section 5.2).
+
+    Quantities are in {e elements}; multiply by the element width for
+    bytes.  [B] here is the batch slice per tile, [P] the query-sequence
+    tile, [M1]*[M0] the key/value sequence held per tile, [P'] the
+    intra-tile sequence length processed per PE row.
+
+    These formulas are the feasibility predicate of TileSeek: an outer
+    tiling is implementable only when every module's requirement fits the
+    on-chip buffer (Section 5.2, last paragraph). *)
+
+type dims = {
+  b : int;  (** batch slice per tile *)
+  d : int;  (** model-dimension (reduction) slice resident per pass *)
+  p : int;  (** query-sequence tile length *)
+  m1 : int;  (** key/value outer tiles resident on-chip per pass *)
+  m0 : int;  (** inner key/value tile *)
+  h : int;  (** heads *)
+  e : int;  (** key/query head dim *)
+  f : int;  (** value head dim *)
+  s : int;  (** FFN-hidden slice resident per pass *)
+  p_row : int;  (** P': intra-tile sequence per PE row *)
+}
+
+val qkv : dims -> float
+(** [B*D*(4P + 3*M1*M0) + 3*D*H*E + 2*B*H*P]. *)
+
+val mha : dims -> float
+(** [B*H*E*(P + 2*M1*M0) + B*H*P*(2 + 2F) + 4*M0*P' + 18*P']. *)
+
+val add_layernorm : dims -> float
+(** [3*B*H*F*P + 4*H*F*P']. *)
+
+val ffn : dims -> float
+(** [H*F*(2*B*P + S) + S*(P + 2) + 2*S*P']. *)
+
+val worst : dims -> float
+(** Maximum over the four modules — the capacity a tile actually needs,
+    since the fused stack executes the modules one at a time per tile. *)
+
+val fits : buffer_elements:int -> dims -> bool
+
+val of_workload :
+  Tf_workloads.Workload.t ->
+  b:int -> d:int -> p:int -> m1:int -> m0:int -> s:int -> p_row:int -> dims
+(** Tile dims for a workload over the TileSeek search space [B,D,M1,P,S]
+    (plus the [m0] inner split).  Every field is the {e resident} tile
+    factor: [m1*m0] is the key/value slice held per pass, [d] the
+    model-dimension slice (QKV weights and input stream in [D/d] passes
+    with partial-sum accumulation), [s] the FFN-hidden slice.
+    @raise Invalid_argument when a factor does not divide its dimension
+    or any size is non-positive. *)
+
+val pp : dims Fmt.t

@@ -1,0 +1,225 @@
+open Tf_arch
+module Dag = Tf_dag.Dag
+module Topo = Tf_dag.Topo
+module Partition = Tf_dag.Partition
+
+type assignment = {
+  node : int;
+  epoch : int;
+  resource : Arch.resource;
+  start_cycle : float;
+  end_cycle : float;
+}
+
+type t = {
+  partition : Partition.t option;
+  order : int list;
+  assignments : assignment list;
+  epochs_unrolled : int;
+  makespan_cycles : float;
+  steady_interval_cycles : float;
+  useful_2d_per_epoch : float;
+  useful_1d_per_epoch : float;
+}
+
+let node_latency arch ~load ~matrix node resource =
+  load node /. Arch.effective_pes arch resource ~matrix:(matrix node)
+
+(* Feed order of (node, epoch) instances for the overlapped pipeline: the
+   second-stage work of epoch e shares its pipeline slot with the
+   first-stage work of epoch e+1 (paper Figure 7d). *)
+let instance_order ~stage ~order ~epochs =
+  let position = Hashtbl.create 16 in
+  List.iteri (fun i n -> Hashtbl.replace position n i) order;
+  let instances =
+    List.concat_map
+      (fun e -> List.map (fun n -> (e + stage n, Hashtbl.find position n, n, e)) order)
+      (List.init epochs (fun e -> e))
+  in
+  List.sort compare instances |> List.map (fun (_, _, n, e) -> (n, e))
+
+(* The DP of Eq. 43-46 over a fixed feed order. *)
+let run_dp arch ~load ~matrix ~mode g instances =
+  let time_1d = ref 0. and time_2d = ref 0. in
+  let time_of = function Arch.Pe_1d -> !time_1d | Arch.Pe_2d -> !time_2d in
+  let set_time r v = match r with Arch.Pe_1d -> time_1d := v | Arch.Pe_2d -> time_2d := v in
+  let end_of = Hashtbl.create 64 in
+  let assignments = ref [] in
+  let makespan = ref 0. in
+  List.iter
+    (fun (n, e) ->
+      let dep_ready =
+        List.fold_left
+          (fun acc p -> Float.max acc (Option.value ~default:0. (Hashtbl.find_opt end_of (p, e))))
+          0. (Dag.preds g n)
+      in
+      let candidates =
+        match mode with
+        | `Static assign -> [ assign n ]
+        | `Dp -> [ Arch.Pe_2d; Arch.Pe_1d ]
+      in
+      let finish r =
+        let start = Float.max (time_of r) dep_ready in
+        (start, start +. node_latency arch ~load ~matrix n r)
+      in
+      let best =
+        List.fold_left
+          (fun acc r ->
+            let start, endt = finish r in
+            match acc with
+            | Some (_, _, best_end) when best_end <= endt -> acc
+            | _ -> Some (r, start, endt))
+          None candidates
+      in
+      match best with
+      | None -> assert false
+      | Some (r, start, endt) ->
+          set_time r endt;
+          Hashtbl.replace end_of (n, e) endt;
+          makespan := Float.max !makespan endt;
+          assignments :=
+            { node = n; epoch = e; resource = r; start_cycle = start; end_cycle = endt }
+            :: !assignments)
+    instances;
+  (List.rev !assignments, !makespan)
+
+let candidate_static_latency arch ~load ~matrix node =
+  node_latency arch ~load ~matrix node (if matrix node then Arch.Pe_2d else Arch.Pe_1d)
+
+let evaluate_candidate arch ~load ~matrix ~mode ~epochs g ~stage ~order =
+  let epochs_half = Int.max 1 (epochs / 2) in
+  let full = instance_order ~stage ~order ~epochs in
+  let half = instance_order ~stage ~order ~epochs:epochs_half in
+  let assignments, makespan = run_dp arch ~load ~matrix ~mode g full in
+  let _, makespan_half = run_dp arch ~load ~matrix ~mode g half in
+  let steady =
+    if epochs > epochs_half then
+      Float.max 0. ((makespan -. makespan_half) /. float_of_int (epochs - epochs_half))
+    else makespan
+  in
+  (assignments, makespan, steady)
+
+let schedule ?(epochs = 8) ?(partition_limit = 512) ?(eval_partitions = 16) ?(order_limit = 4)
+    ?(mode = `Dp) arch ~load ~matrix g =
+  if Dag.node_count g = 0 then invalid_arg "Dpipe.schedule: empty DAG";
+  if not (Dag.is_acyclic g) then invalid_arg "Dpipe.schedule: cyclic graph";
+  let partitions = Partition.enumerate ~limit:partition_limit g in
+  (* Rank bipartitions by stage load balance and evaluate only the best
+     few: the steady interval of a two-stage pipeline is bounded below by
+     its heavier stage. *)
+  let stage_imbalance (p : Partition.t) =
+    let side nodes = List.fold_left (fun acc n -> acc +. load n) 0. nodes in
+    Float.abs (side p.Partition.first -. side p.Partition.second)
+  in
+  let ranked =
+    List.map (fun p -> (stage_imbalance p, p)) partitions
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map snd
+  in
+  let selected =
+    List.filteri (fun i _ -> i < eval_partitions) ranked
+    |> List.map (fun p -> Some p)
+  in
+  let candidates = match selected with [] -> [ None ] | l -> l in
+  let orders = Topo.all ~limit:order_limit g in
+  let best = ref None in
+  List.iter
+    (fun partition ->
+      let stage =
+        match partition with
+        | None -> fun _ -> 0
+        | Some p ->
+            let second = Hashtbl.create 16 in
+            List.iter (fun n -> Hashtbl.replace second n ()) p.Partition.second;
+            fun n -> if Hashtbl.mem second n then 1 else 0
+      in
+      List.iter
+        (fun order ->
+          let assignments, makespan, steady =
+            evaluate_candidate arch ~load ~matrix ~mode ~epochs g ~stage ~order
+          in
+          let better =
+            match !best with
+            | None -> true
+            | Some (s, m, _, _, _) -> steady < s -. 1e-9 || (Float.abs (steady -. s) <= 1e-9 && makespan < m)
+          in
+          if better then best := Some (steady, makespan, assignments, partition, order))
+        orders)
+    candidates;
+  match !best with
+  | None -> assert false
+  | Some (steady, makespan, assignments, partition, order) ->
+      let useful r =
+        List.fold_left
+          (fun acc a -> if a.resource = r then acc +. load a.node else acc)
+          0. assignments
+        /. float_of_int epochs
+      in
+      {
+        partition;
+        order;
+        assignments;
+        epochs_unrolled = epochs;
+        makespan_cycles = makespan;
+        steady_interval_cycles = steady;
+        useful_2d_per_epoch = useful Arch.Pe_2d;
+        useful_1d_per_epoch = useful Arch.Pe_1d;
+      }
+
+let total_cycles t ~epochs =
+  let k = float_of_int t.epochs_unrolled in
+  if epochs <= k then t.makespan_cycles *. (epochs /. k)
+  else t.makespan_cycles +. ((epochs -. k) *. t.steady_interval_cycles)
+
+let sequential_cycles arch ~load ~matrix g =
+  List.fold_left
+    (fun acc n -> acc +. candidate_static_latency arch ~load ~matrix n)
+    0. (Dag.nodes g)
+
+let check g t =
+  let expected = Dag.node_count g * t.epochs_unrolled in
+  if List.length t.assignments <> expected then
+    Error
+      (Printf.sprintf "expected %d instances, got %d" expected (List.length t.assignments))
+  else
+    let end_of = Hashtbl.create 64 in
+    List.iter (fun a -> Hashtbl.replace end_of (a.node, a.epoch) a.end_cycle) t.assignments;
+    let dep_violation =
+      List.find_opt
+        (fun a ->
+          List.exists
+            (fun p ->
+              match Hashtbl.find_opt end_of (p, a.epoch) with
+              | Some e -> e > a.start_cycle +. 1e-6
+              | None -> true)
+            (Dag.preds g a.node))
+        t.assignments
+    in
+    match dep_violation with
+    | Some a -> Error (Printf.sprintf "dependency violation at node %d epoch %d" a.node a.epoch)
+    | None ->
+        let overlap r =
+          let on_r =
+            List.filter (fun a -> a.resource = r) t.assignments
+            |> List.sort (fun a b -> compare a.start_cycle b.start_cycle)
+          in
+          let rec scan = function
+            | a :: (b :: _ as rest) ->
+                if a.end_cycle > b.start_cycle +. 1e-6 then true else scan rest
+            | _ -> false
+          in
+          scan on_r
+        in
+        if overlap Arch.Pe_1d || overlap Arch.Pe_2d then Error "resource overlap"
+        else Ok ()
+
+let pp ppf t =
+  Fmt.pf ppf "dpipe: steady=%.3e makespan=%.3e epochs=%d partition=%a@." t.steady_interval_cycles
+    t.makespan_cycles t.epochs_unrolled
+    Fmt.(option ~none:(any "none") Partition.pp)
+    t.partition;
+  List.iter
+    (fun a ->
+      Fmt.pf ppf "  n%d e%d %a [%.1f, %.1f)@." a.node a.epoch Arch.pp_resource a.resource
+        a.start_cycle a.end_cycle)
+    t.assignments

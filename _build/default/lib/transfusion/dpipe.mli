@@ -1,0 +1,77 @@
+(** DPipe: the Einsum pipelining scheduler (paper Section 4).
+
+    DPipe takes the computation DAG of a fused layer tile and produces a
+    pipelined schedule over the two PE arrays:
+
+    + enumerate valid bipartitions of the DAG ({!Tf_dag.Partition});
+    + for each, enumerate (a bounded set of) topological orders;
+    + unroll [k] pipeline epochs, interleaving the second subgraph of
+      epoch [e] with the first subgraph of epoch [e+1];
+    + run the DP of Eq. 43-46: each operation instance greedily picks the
+      PE array giving the earliest completion, respecting dependencies and
+      per-array timelines;
+    + keep the candidate with the smallest steady-state interval (the
+      per-epoch cost once the pipeline is full).
+
+    The scheduler is generic over node loads: callers supply the intrinsic
+    compute load of each node (Eq. 40, already scaled by any per-epoch
+    repetition) and whether it is matrix work.  [`Dp] mode lets every
+    instance choose its array (TransFusion); [`Static assign] pins each
+    node to a caller-chosen array while still pipelining — e.g. the
+    FuseMax discipline, which keeps per-tile attention work (matmuls and
+    partial softmax) on the 2D array and cross-tile state updates on the
+    1D array. *)
+
+type assignment = {
+  node : int;
+  epoch : int;
+  resource : Tf_arch.Arch.resource;
+  start_cycle : float;
+  end_cycle : float;
+}
+
+type t = {
+  partition : Tf_dag.Partition.t option;
+      (** [None] when the DAG admits no valid bipartition (it is then
+          scheduled as a single stage). *)
+  order : int list;
+  assignments : assignment list;
+  epochs_unrolled : int;
+  makespan_cycles : float;  (** of the unrolled window *)
+  steady_interval_cycles : float;  (** per-epoch cost at steady state *)
+  useful_2d_per_epoch : float;  (** average intrinsic load per epoch on 2D *)
+  useful_1d_per_epoch : float;
+}
+
+val schedule :
+  ?epochs:int ->
+  ?partition_limit:int ->
+  ?eval_partitions:int ->
+  ?order_limit:int ->
+  ?mode:[ `Dp | `Static of int -> Tf_arch.Arch.resource ] ->
+  Tf_arch.Arch.t ->
+  load:(int -> float) ->
+  matrix:(int -> bool) ->
+  'a Tf_dag.Dag.t ->
+  t
+(** Defaults: [epochs = 8] unrolled, [partition_limit = 512] candidates of
+    which the [eval_partitions = 16] most load-balanced are DP-evaluated,
+    [order_limit = 4] topological orders each, [mode = `Dp].
+    @raise Invalid_argument on an empty or cyclic DAG. *)
+
+val total_cycles : t -> epochs:float -> float
+(** Estimated cost of running [epochs] pipeline epochs: the unrolled
+    makespan plus steady-state intervals beyond the unrolled window
+    (linear extrapolation, exact at [epochs = epochs_unrolled]). *)
+
+val sequential_cycles :
+  Tf_arch.Arch.t -> load:(int -> float) -> matrix:(int -> bool) -> 'a Tf_dag.Dag.t -> float
+(** Non-pipelined reference: every node on its native array, one at a
+    time — the per-epoch cost of the Unfused/FLAT execution style. *)
+
+val check : 'a Tf_dag.Dag.t -> t -> (unit, string) result
+(** Validate a schedule: every (node, epoch) instance appears exactly
+    once, same-epoch dependencies are respected, and no PE array executes
+    two instances at once. *)
+
+val pp : t Fmt.t

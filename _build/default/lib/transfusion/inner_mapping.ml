@@ -1,0 +1,72 @@
+open Tf_arch
+open Tf_einsum
+
+type module_kind = Qkv_q | Qkv_kv | Mha | Layernorm | Ffn
+
+type assignment = { rows : Tensor_ref.index list; cols : Tensor_ref.index list }
+
+let table1 = function
+  | Qkv_q -> { rows = [ "p" ]; cols = [ "h"; "e" ] }
+  | Qkv_kv -> { rows = [ "m0" ]; cols = [ "h"; "e" ] }
+  | Mha -> { rows = [ "p" ]; cols = [ "m0" ] }
+  | Layernorm -> { rows = [ "p" ]; cols = [ "h"; "f" ] }
+  | Ffn -> { rows = [ "p" ]; cols = [ "s" ] }
+
+type tile = {
+  row_extent : int;
+  col_extent : int;
+  tile_rows : int;
+  tile_cols : int;
+  row_passes : int;
+  col_passes : int;
+  heads_packed : int;
+  utilization : float;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+let inner_tile (arch : Arch.t) extents kind =
+  let { rows; cols } = table1 kind in
+  let row_extent = Extents.product extents rows in
+  let col_extent = Extents.product extents cols in
+  let array_rows = Pe_array.rows arch.Arch.pe_2d in
+  let array_cols = Pe_array.cols arch.Arch.pe_2d in
+  let tile_rows = Int.min row_extent array_rows in
+  let tile_cols = Int.min col_extent array_cols in
+  (* Head packing (MHA only): replicate whole head tiles across idle
+     columns, bounded by the head count. *)
+  let heads_packed =
+    match kind with
+    | Mha when tile_rows * tile_cols > 0 ->
+        let per_head = tile_cols in
+        let fit = Int.max 1 (array_cols / Int.max 1 per_head) in
+        Int.min fit (Extents.find extents "h")
+    | Mha | Qkv_q | Qkv_kv | Layernorm | Ffn -> 1
+  in
+  let used = tile_rows * tile_cols * heads_packed in
+  let total = array_rows * array_cols in
+  {
+    row_extent;
+    col_extent;
+    tile_rows;
+    tile_cols;
+    row_passes = ceil_div row_extent tile_rows;
+    col_passes = ceil_div col_extent tile_cols;
+    heads_packed;
+    utilization = float_of_int (Int.min used total) /. float_of_int total;
+  }
+
+let passes t =
+  Int.max 1 (ceil_div (t.row_passes * t.col_passes) (Int.max 1 t.heads_packed))
+
+let module_kind_to_string = function
+  | Qkv_q -> "QKV(Q)"
+  | Qkv_kv -> "QKV(K/V)"
+  | Mha -> "MHA"
+  | Layernorm -> "LayerNorm"
+  | Ffn -> "FFN"
+
+let pp ppf t =
+  Fmt.pf ppf "%dx%d tile of %dx%d space, %dx%d passes, %d heads packed, util %.0f%%" t.tile_rows
+    t.tile_cols t.row_extent t.col_extent t.row_passes t.col_passes t.heads_packed
+    (100. *. t.utilization)

@@ -1,0 +1,61 @@
+(** Intra-layer dimension mapping onto the PE arrays (paper Table 1 and
+    Section 3.3).
+
+    Each Transformer module maps a subset of its Einsum indices onto the
+    2D array's rows and columns:
+
+    | Layer     | 2D PE rows | 2D PE columns |
+    |-----------|------------|---------------|
+    | QKV (Q)   | p          | h, e          |
+    | QKV (K/V) | m0         | h, e / h, f   |
+    | MHA       | p          | m0            |
+    | LayerNorm | p          | h, f          |
+    | FFN       | p          | s             |
+
+    On a 1D array the row mapping is kept and the column dimensions are
+    unrolled in time.  An {e inner tile} is the slice of the index space
+    one pipeline pass processes: its row/column extents are clipped to
+    the array, the remainder becomes multiple passes, and when an MHA
+    tile underfills the array multiple head tiles are packed into one
+    pass (paper Section 3.3, MHA paragraph). *)
+
+type module_kind =
+  | Qkv_q  (** the Q projection *)
+  | Qkv_kv  (** the K/V projections (rows are the inner sequence) *)
+  | Mha
+  | Layernorm
+  | Ffn
+
+type assignment = {
+  rows : Tf_einsum.Tensor_ref.index list;
+  cols : Tf_einsum.Tensor_ref.index list;
+}
+
+val table1 : module_kind -> assignment
+(** The paper's Table 1 row/column index assignment. *)
+
+type tile = {
+  row_extent : int;  (** total extent of the row dimensions *)
+  col_extent : int;  (** total extent of the column dimensions *)
+  tile_rows : int;  (** rows processed per pass (clipped to the array) *)
+  tile_cols : int;
+  row_passes : int;  (** ceil(row_extent / tile_rows) *)
+  col_passes : int;
+  heads_packed : int;  (** head tiles packed per pass (MHA only, else 1) *)
+  utilization : float;  (** PE fraction a full pass occupies, in (0, 1] *)
+}
+
+val inner_tile :
+  Tf_arch.Arch.t -> Tf_einsum.Extents.t -> module_kind -> tile
+(** Tile of the given module on the architecture's 2D array under the
+    extent environment.  Head packing: when the MHA tile (p x m0) fills
+    less than the array, whole head tiles are replicated across the idle
+    columns up to the head count.
+    @raise Not_found when a Table 1 index is unbound in the extents. *)
+
+val passes : tile -> int
+(** Total pipeline passes: row passes times column passes divided by the
+    packing factor (at least 1). *)
+
+val pp : tile Fmt.t
+val module_kind_to_string : module_kind -> string

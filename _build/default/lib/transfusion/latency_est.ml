@@ -1,0 +1,16 @@
+open Tf_arch
+
+let cycles arch extents resource op =
+  let load = Tf_einsum.Einsum.compute_load extents op in
+  let pes = Arch.effective_pes arch resource ~matrix:(Tf_einsum.Einsum.is_matrix_op op) in
+  load /. pes
+
+let seconds arch extents resource op =
+  Arch.cycles_to_seconds arch (cycles arch extents resource op)
+
+let native_resource op =
+  if Tf_einsum.Einsum.is_matrix_op op then Arch.Pe_2d else Arch.Pe_1d
+
+let best_resource arch extents op =
+  if cycles arch extents Arch.Pe_2d op <= cycles arch extents Arch.Pe_1d op then Arch.Pe_2d
+  else Arch.Pe_1d

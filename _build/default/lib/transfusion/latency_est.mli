@@ -1,0 +1,25 @@
+(** Per-Einsum latency estimation (paper Section 4.2, Eq. 40-42).
+
+    [ComputeLoad = prod(OutputDims) * prod(ReductionDims)] (times the
+    scalar cost factor for extended operations), [ComputeCycles =
+    ComputeLoad / NumPEs], [Latency = ComputeCycles / f_clk].  [NumPEs] is
+    the effective throughput of the chosen array for the operation's class
+    (matrix vs vector), so offloading vector work to the 2D array is
+    represented by its reduced [vector_eff_2d] throughput. *)
+
+val cycles :
+  Tf_arch.Arch.t -> Tf_einsum.Extents.t -> Tf_arch.Arch.resource -> Tf_einsum.Einsum.t -> float
+(** Eq. 41 under the effective PE count of the resource. *)
+
+val seconds :
+  Tf_arch.Arch.t -> Tf_einsum.Extents.t -> Tf_arch.Arch.resource -> Tf_einsum.Einsum.t -> float
+(** Eq. 42. *)
+
+val native_resource : Tf_einsum.Einsum.t -> Tf_arch.Arch.resource
+(** The static assignment of prior work (paper Section 6.1, baselines):
+    contractions with reduction dims on the 2D array, everything else on
+    the 1D array. *)
+
+val best_resource :
+  Tf_arch.Arch.t -> Tf_einsum.Extents.t -> Tf_einsum.Einsum.t -> Tf_arch.Arch.resource
+(** The resource with the lower isolated latency (ignoring contention). *)

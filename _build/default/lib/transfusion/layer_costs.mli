@@ -1,0 +1,61 @@
+(** Whole-layer compute loads, derived from the cascade IR.
+
+    For one Transformer layer of a workload (full batch, full sequence),
+    every cascade operation has a total compute load obtained by
+    multiplying its per-instance load (Eq. 40 under tile extents) by its
+    instance count:
+
+    - operations of the MHA loop body (and the per-[m0]-tile K/V
+      projections) run once per key/value tile, i.e. [seq/m0] times;
+    - the final normalisation [AV] and the remaining operations run once
+      per sequence pass;
+    - everything is multiplied by the batch size.
+
+    Totals of the {e matrix} class (contractions) land on the 2D array
+    natively; {e vector} totals (maps/reduces) on the 1D array.  These
+    totals are tiling-invariant except through [m0] (smaller key/value
+    tiles mean more running-state updates — a real cost of the 1-pass
+    dataflow). *)
+
+type loads = { matrix : float; vector : float }
+
+val add_loads : loads -> loads -> loads
+val zero : loads
+
+val tile_extents : Tf_workloads.Workload.t -> m0:int -> Tf_einsum.Extents.t
+(** The extent environment totals are computed under: full model dims,
+    full sequence for [p], and the given key/value tile for [m0]. *)
+
+type op_total = { op : Tf_einsum.Einsum.t; total : float; instances : float }
+
+val op_totals :
+  ?m0:int ->
+  ?kv_len:int ->
+  ?causal:bool ->
+  Tf_workloads.Workload.t ->
+  Tf_einsum.Cascade.t ->
+  op_total list
+(** Per-operation totals for one layer of the workload.  [m0] defaults to
+    the workload's balanced split.  [kv_len] is the key/value sequence
+    length (defaults to the workload's own sequence — pass the encoder
+    length for cross-attention sublayers).  [causal] halves the
+    attention-loop work: a masked decoder query attends on average to
+    half the keys.  Operation order follows the cascade. *)
+
+val of_op_totals : op_total list -> loads
+(** Split into matrix/vector classes. *)
+
+val qkv : ?m0:int -> ?kv_len:int -> Tf_workloads.Workload.t -> loads
+val mha : ?m0:int -> ?kv_len:int -> ?causal:bool -> Tf_workloads.Workload.t -> loads
+val add_layernorm : Tf_workloads.Workload.t -> loads
+val ffn : Tf_workloads.Workload.t -> loads
+
+val total :
+  ?m0:int -> ?kv_len:int -> ?causal:bool -> ?include_ffn:bool -> Tf_workloads.Workload.t -> loads
+(** Sum over the modules of one layer ([include_ffn] defaults to true). *)
+
+val macs : op_total list -> float
+(** Total multiply-accumulates (contractions' raw load) — energy input. *)
+
+val vector_ops : op_total list -> float
+(** Total scalar ALU slots of map/reduce work — energy input. *)

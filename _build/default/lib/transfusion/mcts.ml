@@ -1,0 +1,98 @@
+type 'action problem = {
+  actions : 'action list -> 'action list;
+  reward : 'action list -> float;
+}
+
+type stats = {
+  iterations : int;
+  terminals_evaluated : int;
+  best_reward : float;
+  tree_nodes : int;
+}
+
+type 'action node = {
+  mutable children : ('action * 'action node) list;
+  mutable untried : 'action list;
+  mutable visits : int;
+  mutable total_reward : float;
+}
+
+let make_node actions = { children = []; untried = actions; visits = 0; total_reward = 0. }
+
+let ucb1 ~exploration ~parent_visits node =
+  if node.visits = 0 then infinity
+  else
+    (node.total_reward /. float_of_int node.visits)
+    +. (exploration *. sqrt (log (float_of_int parent_visits) /. float_of_int node.visits))
+
+let search ?(exploration = Float.sqrt 2.) ~rng ~iterations problem =
+  let root = make_node (problem.actions []) in
+  let best = ref None in
+  let terminals = ref 0 in
+  let tree_nodes = ref 1 in
+  let consider path reward =
+    incr terminals;
+    match !best with
+    | Some (_, r) when r >= reward -> ()
+    | _ -> best := Some (List.rev path, reward)
+  in
+  (* A uniformly random completion of [path_rev] to a terminal. *)
+  let rec rollout path_rev =
+    match problem.actions (List.rev path_rev) with
+    | [] -> path_rev
+    | candidates ->
+        let pick = List.nth candidates (Random.State.int rng (List.length candidates)) in
+        rollout (pick :: path_rev)
+  in
+  for _ = 1 to iterations do
+    (* Selection: walk UCB1-best children while fully expanded. *)
+    let rec select node path_rev trail =
+      if node.untried <> [] then (node, path_rev, trail)
+      else
+        match node.children with
+        | [] -> (node, path_rev, trail) (* terminal node *)
+        | children ->
+            let _, (action, child) =
+              List.fold_left
+                (fun (best_score, best_child) (a, c) ->
+                  let score = ucb1 ~exploration ~parent_visits:node.visits c in
+                  if score > best_score then (score, (a, c)) else (best_score, best_child))
+                (Float.neg_infinity, List.hd children)
+                children
+            in
+            select child (action :: path_rev) (child :: trail)
+    in
+    let node, path_rev, trail = select root [] [ root ] in
+    (* Expansion. *)
+    let node, path_rev, trail =
+      match node.untried with
+      | [] -> (node, path_rev, trail)
+      | action :: rest ->
+          node.untried <- rest;
+          let child_path = action :: path_rev in
+          let child = make_node (problem.actions (List.rev child_path)) in
+          node.children <- (action, child) :: node.children;
+          incr tree_nodes;
+          (child, child_path, child :: trail)
+    in
+    ignore node;
+    (* Rollout + evaluation. *)
+    let terminal_rev = rollout path_rev in
+    let reward = problem.reward (List.rev terminal_rev) in
+    consider terminal_rev reward;
+    (* Backpropagation along the selected/expanded trail. *)
+    List.iter
+      (fun n ->
+        n.visits <- n.visits + 1;
+        n.total_reward <- n.total_reward +. reward)
+      trail
+  done;
+  let stats =
+    {
+      iterations;
+      terminals_evaluated = !terminals;
+      best_reward = (match !best with Some (_, r) -> r | None -> Float.neg_infinity);
+      tree_nodes = !tree_nodes;
+    }
+  in
+  (!best, stats)

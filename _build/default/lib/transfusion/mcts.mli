@@ -1,0 +1,36 @@
+(** Generic Monte Carlo Tree Search with UCB1 selection (paper Section 5.1).
+
+    The search tree is defined by a {!problem}: from any root-to-node path
+    of actions, [actions] lists the next decisions (the empty list marks a
+    terminal = complete configuration) and [reward] scores a terminal path
+    (higher is better, ideally O(1) scale so the default exploration
+    constant is meaningful).
+
+    One iteration performs the four MCTS steps: UCB1 {e selection} down the
+    tree, {e expansion} of one untried action, a uniformly random
+    {e rollout} to a terminal, and {e backpropagation} of the reward along
+    the selected path.  The best terminal found anywhere (including during
+    rollouts) is returned. *)
+
+type 'action problem = {
+  actions : 'action list -> 'action list;
+  reward : 'action list -> float;
+}
+
+type stats = {
+  iterations : int;
+  terminals_evaluated : int;
+  best_reward : float;
+  tree_nodes : int;
+}
+
+val search :
+  ?exploration:float ->
+  rng:Random.State.t ->
+  iterations:int ->
+  'action problem ->
+  ('action list * float) option * stats
+(** [search ~rng ~iterations problem] returns the best terminal path and
+    its reward, or [None] when the root itself is terminal or no terminal
+    was reached.  [exploration] is the UCB1 constant (default [sqrt 2]).
+    Deterministic for a given [rng] state. *)

@@ -1,0 +1,102 @@
+open Tf_arch
+module Dag = Tf_dag.Dag
+
+type outcome = {
+  makespan_cycles : float;
+  busy_1d_cycles : float;
+  busy_2d_cycles : float;
+  instances : int;
+}
+
+let instance_latency arch ~load ~matrix node resource =
+  load node /. Arch.effective_pes arch resource ~matrix:(matrix node)
+
+let replay arch ~load ~matrix g (sched : Dpipe.t) =
+  (* Per-resource issue queues, in the schedule's start order. *)
+  let by_resource r =
+    List.filter (fun (a : Dpipe.assignment) -> a.Dpipe.resource = r) sched.Dpipe.assignments
+    |> List.sort (fun (a : Dpipe.assignment) b ->
+           compare a.Dpipe.start_cycle b.Dpipe.start_cycle)
+  in
+  let queues = [ (Arch.Pe_1d, ref (by_resource Arch.Pe_1d)); (Arch.Pe_2d, ref (by_resource Arch.Pe_2d)) ] in
+  let free = [ (Arch.Pe_1d, ref 0.); (Arch.Pe_2d, ref 0.) ] in
+  let busy = [ (Arch.Pe_1d, ref 0.); (Arch.Pe_2d, ref 0.) ] in
+  let finished : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+  let deps_ready (a : Dpipe.assignment) =
+    List.fold_left
+      (fun acc p ->
+        match acc with
+        | None -> None
+        | Some t -> (
+            match Hashtbl.find_opt finished (p, a.Dpipe.epoch) with
+            | Some e -> Some (Float.max t e)
+            | None -> None))
+      (Some 0.)
+      (Dag.preds g a.Dpipe.node)
+  in
+  let total = List.length sched.Dpipe.assignments in
+  let completed = ref 0 in
+  let makespan = ref 0. in
+  let progress = ref true in
+  while !completed < total && !progress do
+    progress := false;
+    List.iter
+      (fun (r, queue) ->
+        match !queue with
+        | [] -> ()
+        | head :: rest -> (
+            match deps_ready head with
+            | None -> () (* dependency not finished yet; try other resources *)
+            | Some ready ->
+                let free_at = List.assoc r free in
+                let start = Float.max !free_at ready in
+                let latency = instance_latency arch ~load ~matrix head.Dpipe.node r in
+                let finish = start +. latency in
+                Hashtbl.replace finished (head.Dpipe.node, head.Dpipe.epoch) finish;
+                free_at := finish;
+                let b = List.assoc r busy in
+                b := !b +. latency;
+                makespan := Float.max !makespan finish;
+                queue := rest;
+                incr completed;
+                progress := true))
+      queues
+  done;
+  if !completed < total then Error "deadlock: issue order violates dependencies"
+  else
+    Ok
+      {
+        makespan_cycles = !makespan;
+        busy_1d_cycles = !(List.assoc Arch.Pe_1d busy);
+        busy_2d_cycles = !(List.assoc Arch.Pe_2d busy);
+        instances = total;
+      }
+
+let agrees ?(tol = 1e-6) (sched : Dpipe.t) outcome =
+  let a = sched.Dpipe.makespan_cycles and b = outcome.makespan_cycles in
+  Float.abs (a -. b) <= tol *. (1. +. Float.max (Float.abs a) (Float.abs b))
+
+let gantt ?(width = 72) ~label (sched : Dpipe.t) =
+  let buffer = Stdlib.Buffer.create 1024 in
+  let horizon = Float.max 1e-9 sched.Dpipe.makespan_cycles in
+  let column t = int_of_float (float_of_int (width - 1) *. t /. horizon) in
+  let render r =
+    Stdlib.Buffer.add_string buffer
+      (Printf.sprintf "%s array:\n" (Arch.resource_to_string r));
+    List.iter
+      (fun (a : Dpipe.assignment) ->
+        if a.Dpipe.resource = r then begin
+          let start = column a.Dpipe.start_cycle and stop = column a.Dpipe.end_cycle in
+          let lane = Bytes.make width '.' in
+          for i = start to Int.min stop (width - 1) do
+            Bytes.set lane i '#'
+          done;
+          Stdlib.Buffer.add_string buffer
+            (Printf.sprintf "  %-8s e%-2d |%s|\n"
+               (label a.Dpipe.node) a.Dpipe.epoch (Bytes.to_string lane))
+        end)
+      sched.Dpipe.assignments
+  in
+  render Arch.Pe_2d;
+  render Arch.Pe_1d;
+  Stdlib.Buffer.contents buffer

@@ -1,0 +1,39 @@
+(** Discrete-event validation of DPipe schedules.
+
+    DPipe computes start/end times analytically (the DP of Eq. 43-46).
+    This module re-executes a schedule as an event-driven simulation that
+    knows only each instance's {e resource assignment} and per-resource
+    issue order: an instance starts when its same-epoch dependencies have
+    completed and its PE array is free.  The simulated makespan must
+    equal the analytic one — an independent check of the scheduler
+    implementation, exercised by the property tests.
+
+    Also provides a text Gantt rendering of a schedule for inspection
+    (used by the CLI's [schedule] command). *)
+
+type outcome = {
+  makespan_cycles : float;
+  busy_1d_cycles : float;  (** time the 1D array spends executing *)
+  busy_2d_cycles : float;
+  instances : int;
+}
+
+val replay :
+  Tf_arch.Arch.t ->
+  load:(int -> float) ->
+  matrix:(int -> bool) ->
+  'a Tf_dag.Dag.t ->
+  Dpipe.t ->
+  (outcome, string) result
+(** Replay the schedule.  [Error] on deadlock — which would mean the
+    schedule's issue order violates its own dependencies. *)
+
+val agrees : ?tol:float -> Dpipe.t -> outcome -> bool
+(** True when the simulated makespan matches the analytic one within a
+    relative tolerance (default 1e-6). *)
+
+val gantt :
+  ?width:int -> label:(int -> string) -> Dpipe.t -> string
+(** A two-lane text timeline ([width] columns, default 72): one row per
+    (instance), grouped by PE array, with the span marked by ['#'].
+    Labels come from [label node]. *)

@@ -1,0 +1,650 @@
+open Tf_arch
+open Tf_workloads
+open Tf_costmodel
+module Cascade = Tf_einsum.Cascade
+module Einsum = Tf_einsum.Einsum
+module Extents = Tf_einsum.Extents
+
+type t = Unfused | Flat | Fusemax | Fusemax_layerfuse | Transfusion
+
+type attention = Self | Causal_self | Cross of { kv_len : int }
+
+type objective = Latency_obj | Energy_obj | Edp_obj
+
+type result = {
+  strategy : t;
+  arch : Arch.t;
+  workload : Workload.t;
+  latency : Latency.t;
+  energy : Energy.breakdown;
+  traffic : Traffic.t;
+  tiling : Tileseek.config option;
+}
+
+let all = [ Unfused; Flat; Fusemax; Fusemax_layerfuse; Transfusion ]
+
+let name = function
+  | Unfused -> "unfused"
+  | Flat -> "flat"
+  | Fusemax -> "fusemax"
+  | Fusemax_layerfuse -> "fusemax+layerfuse"
+  | Transfusion -> "transfusion"
+
+let of_name s = List.find_opt (fun t -> name t = s) all
+let pp_name ppf t = Fmt.string ppf (name t)
+
+(* ------------------------------------------------------------------ *)
+(* Workload context                                                    *)
+
+type ctx = {
+  arch : Arch.t;
+  w : Workload.t;
+  n : float;  (* sequence length *)
+  bsz : float;
+  d : float;
+  h : float;
+  ef : float;  (* head dim (E = F) *)
+  s : float;
+  layers : float;
+  a : float;  (* activation volume B*N*D *)
+  w_qkv : float;
+  w_ffn : float;
+  scores : float;  (* B*H*N^2 *)
+  hidden : float;  (* B*N*S *)
+  buf : float;  (* buffer capacity, elements *)
+  m0 : int;
+  attention : attention;
+  kv_len : int;  (* key/value sequence length *)
+  n_kv : float;
+  a_kv : float;  (* key/value activation volume B*KV*D *)
+  causal : bool;
+  include_ffn : bool;
+  objective : objective;
+}
+
+let make_ctx ?(attention = Self) ?(include_ffn = true) ?layers ?(objective = Latency_obj)
+    (arch : Arch.t) (w : Workload.t) =
+  let m = w.model in
+  let fi = float_of_int in
+  let n = fi w.seq_len and bsz = fi w.batch in
+  let d = fi m.Model.d_model and h = fi m.Model.heads and ef = fi m.Model.head_dim in
+  let s = fi m.Model.ffn_hidden in
+  let kv_len = match attention with Cross { kv_len } -> kv_len | Self | Causal_self -> w.seq_len in
+  let causal = attention = Causal_self in
+  (* The inner key/value tile must divide the key/value sequence. *)
+  let m0 =
+    let preferred = Extents.find (Workload.extents w) "m0" in
+    let rec shrink v = if v <= 1 || kv_len mod v = 0 then Int.max 1 v else shrink (v / 2) in
+    shrink (Int.min preferred kv_len)
+  in
+  let n_kv = fi kv_len in
+  let causal_factor = if causal then 0.5 else 1. in
+  {
+    arch;
+    w;
+    n;
+    bsz;
+    d;
+    h;
+    ef;
+    s;
+    layers = (match layers with Some l -> fi l | None -> fi m.Model.layers);
+    a = bsz *. n *. d;
+    w_qkv = 3. *. d *. d;
+    w_ffn = (2. *. d *. s) +. s +. d;
+    scores = bsz *. h *. n *. n_kv *. causal_factor;
+    hidden = bsz *. n *. s;
+    buf = fi (Arch.buffer_elements arch);
+    m0;
+    attention;
+    kv_len;
+    n_kv;
+    a_kv = bsz *. n_kv *. d;
+    causal;
+    include_ffn;
+    objective;
+  }
+
+(* Tiled-matmul DRAM read volume (elements) for [rows x inner] times
+   [inner x cols].  When both operands fit on-chip each is read once;
+   otherwise the better of the two blocked loop orders is used: hold
+   weight slices resident and re-stream the input once per slice, or hold
+   input slices resident and re-stream the weights. *)
+let matmul_reads ctx ~rows ~inner ~cols =
+  let input = rows *. inner and weight = inner *. cols in
+  let once = input +. weight in
+  if once <= ctx.buf then once
+  else
+    let share = ctx.buf /. 2. in
+    let weight_resident = weight +. (Float.of_int (int_of_float (ceil (weight /. share))) *. input) in
+    let input_resident = input +. (Float.of_int (int_of_float (ceil (input /. share))) *. weight) in
+    Float.min weight_resident input_resident
+
+(* Per-layer einsum input/output streaming volumes (elements) for a
+   cascade, used for buffer/register-file energy accounting. *)
+let io_volumes ctx cascade =
+  let extents = Layer_costs.tile_extents ctx.w ~m0:ctx.m0 in
+  let totals = Layer_costs.op_totals ~m0:ctx.m0 ~kv_len:ctx.kv_len ~causal:ctx.causal ctx.w cascade in
+  List.fold_left
+    (fun (reads, writes) { Layer_costs.op; instances; _ } ->
+      let vol r = float_of_int (Extents.volume extents r) in
+      let input_vol = List.fold_left (fun acc r -> acc +. vol r) 0. op.Einsum.inputs in
+      (reads +. (instances *. input_vol), writes +. (instances *. vol op.Einsum.output)))
+    (0., 0.) totals
+
+let module_cascades ctx =
+  [
+    (Phase.Qkv, Cascades.qkv ());
+    (Phase.Mha, Cascades.mha ());
+    (Phase.Layernorm, Cascades.add_layernorm ());
+  ]
+  @ if ctx.include_ffn then [ (Phase.Ffn, Cascades.ffn ctx.w.model.Model.activation) ] else []
+
+let module_loads ctx kind =
+  match kind with
+  | Phase.Qkv -> Layer_costs.qkv ~m0:ctx.m0 ~kv_len:ctx.kv_len ctx.w
+  | Phase.Mha -> Layer_costs.mha ~m0:ctx.m0 ~kv_len:ctx.kv_len ~causal:ctx.causal ctx.w
+  | Phase.Layernorm -> Layer_costs.add_layernorm ctx.w
+  | Phase.Ffn -> Layer_costs.ffn ctx.w
+  | Phase.Fused_stack ->
+      Layer_costs.total ~m0:ctx.m0 ~kv_len:ctx.kv_len ~causal:ctx.causal
+        ~include_ffn:ctx.include_ffn ctx.w
+
+let loads_ops (l : Layer_costs.loads) = l.matrix +. l.vector
+
+(* Largest power of two <= x, at least 1. *)
+let pow2_floor x =
+  let rec grow v = if 2. *. v <= x then grow (2. *. v) else v in
+  if x < 1. then 1. else grow 1.
+
+(* Query rows resident per streaming attention tile under the per-head
+   (FuseMax/FLAT) discipline: a head-slice of Q plus running state plus the
+   current K/V tile must fit in half the buffer. *)
+let stream_q_rows ctx =
+  let m0 = float_of_int ctx.m0 in
+  let state_per_row = (2. *. ctx.ef) +. 4. in
+  let kv_tile = 2. *. m0 *. ctx.ef in
+  let cap = ((ctx.buf /. 2.) -. kv_tile) /. state_per_row in
+  Float.min ctx.n (pow2_floor (Float.max 1. cap))
+
+let causal_factor ctx = if ctx.causal then 0.5 else 1.
+
+let kv_stream_reads ctx ~q_rows =
+  ctx.n /. q_rows *. 2. *. ctx.a_kv *. causal_factor ctx
+
+(* ------------------------------------------------------------------ *)
+(* Pipelined executions via DPipe                                      *)
+
+type exec_summary = {
+  makespan : float;
+  useful_2d : float;
+  useful_1d : float;
+  node_busy : float array;  (* per-DAG-node busy cycles over the horizon *)
+}
+
+let seq_exec ctx (l : Layer_costs.loads) =
+  Phase.sequential_execution ctx.arch ~matrix_load:l.matrix ~vector_load:l.vector
+
+let exec_of_summary { makespan; useful_2d; useful_1d; _ } =
+  { Phase.makespan_cycles = makespan; useful_2d_slots = useful_2d; useful_1d_slots = useful_1d }
+
+let add_exec (a : Phase.execution) (b : Phase.execution) =
+  {
+    Phase.makespan_cycles = a.Phase.makespan_cycles +. b.Phase.makespan_cycles;
+    useful_2d_slots = a.Phase.useful_2d_slots +. b.Phase.useful_2d_slots;
+    useful_1d_slots = a.Phase.useful_1d_slots +. b.Phase.useful_1d_slots;
+  }
+
+(* Pipeline a cascade whose per-layer op totals are [totals], normalising
+   to a nominal epoch count: the extrapolated total is epoch-count
+   invariant to first order, so tile shape only enters through traffic. *)
+let nominal_epochs = 256.
+
+let pipelined_exec ?mode ctx cascade =
+  let totals = Layer_costs.op_totals ~m0:ctx.m0 ~kv_len:ctx.kv_len ~causal:ctx.causal ctx.w cascade in
+  let arr = Array.of_list totals in
+  let g = Cascade.to_dag cascade in
+  let load node = arr.(node).Layer_costs.total /. nominal_epochs in
+  let matrix node = Einsum.is_matrix_op arr.(node).Layer_costs.op in
+  let mode =
+    match mode with
+    | Some m -> m
+    | None -> `Dp
+  in
+  let sched = Dpipe.schedule ~mode ctx.arch ~load ~matrix g in
+  let node_busy = Array.make (Array.length arr) 0. in
+  let unrolled = float_of_int sched.Dpipe.epochs_unrolled in
+  List.iter
+    (fun (a : Dpipe.assignment) ->
+      node_busy.(a.Dpipe.node) <-
+        node_busy.(a.Dpipe.node)
+        +. ((a.Dpipe.end_cycle -. a.Dpipe.start_cycle) *. nominal_epochs /. unrolled))
+    sched.Dpipe.assignments;
+  {
+    makespan = Dpipe.total_cycles sched ~epochs:nominal_epochs;
+    useful_2d = sched.Dpipe.useful_2d_per_epoch *. nominal_epochs;
+    useful_1d = sched.Dpipe.useful_1d_per_epoch *. nominal_epochs;
+    node_busy;
+  }
+
+(* The FuseMax static assignment: matmuls on the 2D array; per-tile
+   partial softmax (vector work indexed by the inner key/value dimension)
+   wherever its sustained vector throughput is higher — the 2D array on
+   cloud-class parts, the 1D array on edge parts; cross-tile
+   running-state updates on the 1D array. *)
+let fusemax_assign (arch : Arch.t) cascade =
+  let ops = Array.of_list (Cascade.ops cascade) in
+  let vector_2d_wins =
+    Arch.effective_pes arch Arch.Pe_2d ~matrix:false
+    > Arch.effective_pes arch Arch.Pe_1d ~matrix:false
+  in
+  fun node ->
+    let op = ops.(node) in
+    if Einsum.is_matrix_op op then Arch.Pe_2d
+    else if vector_2d_wins && List.mem "m0" (Einsum.all_dims op) then Arch.Pe_2d
+    else Arch.Pe_1d
+
+(* Memoised DPipe runs: the schedule depends only on (arch, model, seq,
+   batch, m0, mode tag). *)
+let dpipe_cache : (string, exec_summary) Hashtbl.t = Hashtbl.create 64
+
+let attention_tag = function
+  | Self -> "self"
+  | Causal_self -> "causal"
+  | Cross { kv_len } -> Printf.sprintf "cross%d" kv_len
+
+let cached_pipelined ?mode ~tag ctx cascade =
+  let key =
+    Printf.sprintf "%s/%s/%d/%d/%d/%s/%s/%b" ctx.arch.Arch.name ctx.w.model.Model.name
+      ctx.w.seq_len ctx.w.batch ctx.m0 tag (attention_tag ctx.attention) ctx.include_ffn
+  in
+  match Hashtbl.find_opt dpipe_cache key with
+  | Some summary -> summary
+  | None ->
+      let summary = pipelined_exec ?mode ctx cascade in
+      Hashtbl.add dpipe_cache key summary;
+      summary
+
+(* ------------------------------------------------------------------ *)
+(* Traffic assembly                                                    *)
+
+let base_traffic _ctx ~dram_reads ~dram_writes ~buffer_io ~regfile_io loads =
+  let compute = loads_ops loads in
+  let io_r, io_w = buffer_io and rf_r, rf_w = regfile_io in
+  {
+    Traffic.dram_reads;
+    dram_writes;
+    (* DRAM transfers fill/drain through the buffer as well. *)
+    buffer_reads = dram_writes +. io_r;
+    buffer_writes = dram_reads +. io_w;
+    regfile_accesses = (3. *. compute) +. rf_r +. rf_w;
+    macs = loads.Layer_costs.matrix;
+    vector_ops = loads.Layer_costs.vector;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Per-strategy phase builders (whole model)                           *)
+
+let scale_layers ctx phase = Phase.scale ctx.layers phase
+
+let unfused_module_traffic ctx kind =
+  let rows = ctx.bsz *. ctx.n and kv_rows = ctx.bsz *. ctx.n_kv in
+  match kind with
+  | Phase.Qkv ->
+      ( matmul_reads ctx ~rows ~inner:ctx.d ~cols:ctx.d
+        +. (2. *. matmul_reads ctx ~rows:kv_rows ~inner:ctx.d ~cols:ctx.d),
+        ctx.a +. (2. *. ctx.a_kv) )
+  | Phase.Mha ->
+      (* Q, K and V stream in; scores stream out once, back in for the max
+         pass, out and in again around the exponentiation/normalisation,
+         then in once more for the weighted sum with V. *)
+      (ctx.a +. (2. *. ctx.a_kv) +. (3. *. ctx.scores), ctx.a +. (2. *. ctx.scores))
+  | Phase.Layernorm -> (2. *. ctx.a, ctx.a)
+  | Phase.Ffn ->
+      ( matmul_reads ctx ~rows ~inner:ctx.d ~cols:ctx.s
+        +. matmul_reads ctx ~rows ~inner:ctx.s ~cols:ctx.d
+        +. (2. *. ctx.hidden),
+        (2. *. ctx.hidden) +. ctx.a )
+  | Phase.Fused_stack -> invalid_arg "unfused_module_traffic"
+
+let unfused_like_phases ?(mha_override = None) ctx =
+  List.map
+    (fun (kind, cascade) ->
+      let loads = module_loads ctx kind in
+      let phase =
+        match (kind, mha_override) with
+        | Phase.Mha, Some build -> build loads cascade
+        | _ ->
+            let dram_reads, dram_writes = unfused_module_traffic ctx kind in
+            let io = io_volumes ctx cascade in
+            Phase.v
+              ~name:(Phase.layer_kind_to_string kind)
+              ~kind
+              ~traffic:
+                (base_traffic ctx ~dram_reads ~dram_writes ~buffer_io:io ~regfile_io:(0., 0.) loads)
+              ~execution:(seq_exec ctx loads) ()
+      in
+      scale_layers ctx phase)
+    (module_cascades ctx)
+
+let unfused_phases ctx = unfused_like_phases ctx
+
+(* FLAT: fused attention (streaming tiles, no score traffic), sequential
+   execution, intermediates staged through the buffer. *)
+let flat_phases ctx =
+  let build loads cascade =
+    let q_rows = stream_q_rows ctx in
+    let dram_reads = ctx.a +. kv_stream_reads ctx ~q_rows in
+    let io = io_volumes ctx cascade in
+    Phase.v ~name:"MHA(flat)" ~kind:Phase.Mha
+      ~traffic:(base_traffic ctx ~dram_reads ~dram_writes:ctx.a ~buffer_io:io ~regfile_io:(0., 0.) loads)
+      ~execution:(seq_exec ctx loads) ()
+  in
+  unfused_like_phases ~mha_override:(Some build) ctx
+
+(* FuseMax: fused + statically pipelined attention with in-register
+   retention of intermediates. *)
+let fusemax_phases ctx =
+  let build loads cascade =
+    let q_rows = stream_q_rows ctx in
+    let dram_reads = ctx.a +. kv_stream_reads ctx ~q_rows in
+    let io = io_volumes ctx cascade in
+    let summary =
+      cached_pipelined ~mode:(`Static (fusemax_assign ctx.arch cascade)) ~tag:"fusemax-mha" ctx
+        cascade
+    in
+    Phase.v ~name:"MHA(fusemax)" ~kind:Phase.Mha
+      ~traffic:(base_traffic ctx ~dram_reads ~dram_writes:ctx.a ~buffer_io:(0., 0.) ~regfile_io:io loads)
+      ~execution:(exec_of_summary summary) ()
+  in
+  unfused_like_phases ~mha_override:(Some build) ctx
+
+(* Shared fused-stack traffic for LayerFuse and TransFusion: activations
+   propagate on-chip; K/V round-trip through DRAM per layer and are
+   re-read once per query tile; weights follow the tiled-matmul I/O
+   model; module handoffs stage one activation volume in the buffer. *)
+let fused_stack_traffic ctx (config : Tileseek.config) loads =
+  let rows = ctx.bsz *. ctx.n in
+  let kv_resident = float_of_int (config.Tileseek.m1 * config.Tileseek.m0) in
+  let kv_passes =
+    if kv_resident >= ctx.n_kv then 1. else ctx.n /. float_of_int config.Tileseek.p
+  in
+  ignore rows;
+  (* The fused stack pins resident query rows on-chip and streams every
+     weight tensor through once per tile pass — the structural price of
+     end-to-end fusion (big tiles amortise it; TileSeek maximises
+     b*p under the Table 2 budget). *)
+  let tile_passes =
+    ctx.bsz *. ctx.n /. (float_of_int config.Tileseek.b *. float_of_int config.Tileseek.p)
+  in
+  let weight_reads =
+    tile_passes *. (ctx.w_qkv +. if ctx.include_ffn then ctx.w_ffn else 0.)
+  in
+  let per_layer_reads =
+    weight_reads +. (kv_passes *. 2. *. ctx.a_kv *. causal_factor ctx)
+  in
+  let per_layer_writes = 2. *. ctx.a_kv in
+  let dram_reads = (ctx.layers *. per_layer_reads) +. ctx.a in
+  let dram_writes = (ctx.layers *. per_layer_writes) +. ctx.a in
+  let io_r, io_w =
+    List.fold_left
+      (fun (r, w) (_, cascade) ->
+        let ir, iw = io_volumes ctx cascade in
+        (r +. ir, w +. iw))
+      (0., 0.) (module_cascades ctx)
+  in
+  let handoffs = 4. *. ctx.a in
+  let stack_loads =
+    {
+      Layer_costs.matrix = ctx.layers *. loads.Layer_costs.matrix;
+      vector = ctx.layers *. loads.Layer_costs.vector;
+    }
+  in
+  base_traffic ctx ~dram_reads ~dram_writes
+    ~buffer_io:(ctx.layers *. handoffs, ctx.layers *. handoffs)
+    ~regfile_io:(ctx.layers *. io_r, ctx.layers *. io_w)
+    stack_loads
+
+let tiling_cost ctx phase_list =
+  let arch = ctx.arch in
+  let lat = Latency.evaluate arch phase_list in
+  match ctx.objective with
+  | Latency_obj ->
+      (* Latency with a small memory-time tie-break so that among
+         latency-equal tilings the one moving less data wins. *)
+      let memory_s =
+        List.fold_left
+          (fun acc (r : Latency.phase_result) -> acc +. r.memory_s)
+          0. lat.Latency.phases
+      in
+      lat.Latency.total_s +. (0.02 *. memory_s)
+  | Energy_obj ->
+      let traffic = Traffic.sum (List.map (fun (p : Phase.t) -> p.Phase.traffic) phase_list) in
+      Energy.total_pj (Energy.of_traffic arch traffic)
+  | Edp_obj ->
+      let traffic = Traffic.sum (List.map (fun (p : Phase.t) -> p.Phase.traffic) phase_list) in
+      lat.Latency.total_s *. Energy.total_pj (Energy.of_traffic arch traffic)
+
+(* The per-layer execution of the LayerFuse ablation: pipelined attention
+   (FuseMax style), everything else sequential; no cross-module overlap.
+   Also returns the per-module makespans for Figure 11 attribution. *)
+let layerfuse_layer_parts ctx =
+  let mha_summary =
+    let cascade = Cascades.mha () in
+    cached_pipelined ~mode:(`Static (fusemax_assign ctx.arch cascade)) ~tag:"fusemax-mha" ctx
+      cascade
+  in
+  (Phase.Mha, exec_of_summary mha_summary)
+  :: List.map
+       (fun kind -> (kind, seq_exec ctx (module_loads ctx kind)))
+       ([ Phase.Qkv; Phase.Layernorm ] @ if ctx.include_ffn then [ Phase.Ffn ] else [])
+
+let layerfuse_layer_exec ctx =
+  match layerfuse_layer_parts ctx with
+  | [] -> assert false
+  | (_, first) :: rest -> List.fold_left (fun acc (_, e) -> add_exec acc e) first rest
+
+let normalise_parts per =
+  let kinds = [ Phase.Qkv; Phase.Mha; Phase.Layernorm; Phase.Ffn ] in
+  let total = List.fold_left (fun acc (_, c) -> acc +. c) 0. per in
+  List.map
+    (fun k ->
+      let c = List.fold_left (fun acc (k', c) -> if k' = k then acc +. c else acc) 0. per in
+      (k, if total > 0. then c /. total else 0.25))
+    kinds
+
+(* Attribution of the LayerFuse phase's time to the per-layer buckets, by
+   each module's share of its (sequential) per-layer makespans. *)
+let layerfuse_parts ctx =
+  normalise_parts
+    (List.map (fun (k, e) -> (k, e.Phase.makespan_cycles)) (layerfuse_layer_parts ctx))
+
+(* Attribution of the TransFusion phase: the busy cycles the DPipe
+   schedule actually assigned to each module's operations. *)
+let transfusion_parts ctx summary =
+  let cascade =
+    if ctx.include_ffn then Cascades.full_layer ctx.w.model.Model.activation
+    else
+      Cascade.concat ~name:"transformer_layer_noffn"
+        [ Cascades.qkv (); Cascades.mha (); Cascades.add_layernorm () ]
+  in
+  let kind_of op_name =
+    if List.mem op_name [ "Q"; "BK"; "BV" ] then Phase.Qkv
+    else if List.mem op_name Cascades.mha_op_names then Phase.Mha
+    else if
+      List.exists
+        (fun (op : Einsum.t) -> op.Einsum.name = op_name)
+        (Cascade.ops (Cascades.add_layernorm ()))
+    then Phase.Layernorm
+    else Phase.Ffn
+  in
+  let per =
+    List.mapi
+      (fun i (op : Einsum.t) ->
+        let busy = if i < Array.length summary.node_busy then summary.node_busy.(i) else 0. in
+        (kind_of op.Einsum.name, busy))
+      (Cascade.ops cascade)
+  in
+  normalise_parts per
+
+(* The search objective: latency plus a small memory-time term — the
+   paper's TileSeek also rewards off-chip traffic and energy (Section 5),
+   so among latency-equal tilings the one moving less data wins.  The
+   weight is kept small so the latency figures stay the primary
+   objective. *)
+let layerfuse_phase_of ctx config =
+  let ctx = { ctx with m0 = config.Tileseek.m0 } in
+  let loads = module_loads ctx Phase.Fused_stack in
+  let exec_layer = layerfuse_layer_exec ctx in
+  let execution =
+    {
+      Phase.makespan_cycles = ctx.layers *. exec_layer.Phase.makespan_cycles;
+      useful_2d_slots = ctx.layers *. exec_layer.Phase.useful_2d_slots;
+      useful_1d_slots = ctx.layers *. exec_layer.Phase.useful_1d_slots;
+    }
+  in
+  Phase.v ~name:"stack(layerfuse)" ~kind:Phase.Fused_stack ~parts:(layerfuse_parts ctx)
+    ~traffic:(fused_stack_traffic ctx config loads)
+    ~execution ()
+
+let layerfuse_phases ?tiling ~tileseek_iterations ctx =
+  (* The ablation keeps TileSeek (it removes DPipe, not the tiling
+     search): outer tiles are searched against the LayerFuse cost. *)
+  let config =
+    match tiling with
+    | Some c -> c
+    | None ->
+        let evaluate config = tiling_cost ctx [ layerfuse_phase_of ctx config ] in
+        fst (Tileseek.search ~iterations:tileseek_iterations ctx.arch ctx.w ~evaluate ())
+  in
+  ([ layerfuse_phase_of ctx config ], Some config)
+
+(* Traffic of the intra-layer-fused variant: each layer executes alone,
+   so its big matmuls run weight-stationary (the blocked I/O model) and
+   only the layer boundaries round-trip activations through DRAM, while
+   every module inside a layer stays fused. *)
+let intra_layer_traffic ctx (config : Tileseek.config) loads =
+  let rows = ctx.bsz *. ctx.n in
+  let kv_resident = float_of_int (config.Tileseek.m1 * config.Tileseek.m0) in
+  let kv_passes =
+    if kv_resident >= ctx.n_kv then 1. else ctx.n /. float_of_int config.Tileseek.p
+  in
+  let weight_reads =
+    matmul_reads ctx ~rows ~inner:ctx.d ~cols:ctx.d
+    +. (2. *. matmul_reads ctx ~rows:(ctx.bsz *. ctx.n_kv) ~inner:ctx.d ~cols:ctx.d)
+    +.
+    if ctx.include_ffn then
+      matmul_reads ctx ~rows ~inner:ctx.d ~cols:ctx.s
+      +. matmul_reads ctx ~rows ~inner:ctx.s ~cols:ctx.d
+    else 0.
+  in
+  let per_layer_reads =
+    weight_reads +. (kv_passes *. 2. *. ctx.a_kv *. causal_factor ctx) +. ctx.a
+  in
+  let per_layer_writes = ctx.a +. (2. *. ctx.a_kv) in
+  let io_r, io_w =
+    List.fold_left
+      (fun (r, w) (_, cascade) ->
+        let ir, iw = io_volumes ctx cascade in
+        (r +. ir, w +. iw))
+      (0., 0.) (module_cascades ctx)
+  in
+  let handoffs = 4. *. ctx.a in
+  let stack_loads =
+    {
+      Layer_costs.matrix = ctx.layers *. loads.Layer_costs.matrix;
+      vector = ctx.layers *. loads.Layer_costs.vector;
+    }
+  in
+  base_traffic ctx
+    ~dram_reads:(ctx.layers *. per_layer_reads)
+    ~dram_writes:(ctx.layers *. per_layer_writes)
+    ~buffer_io:(ctx.layers *. handoffs, ctx.layers *. handoffs)
+    ~regfile_io:(ctx.layers *. io_r, ctx.layers *. io_w)
+    stack_loads
+
+let layer_cascade ctx =
+  if ctx.include_ffn then Cascades.full_layer ctx.w.model.Model.activation
+  else
+    Cascade.concat ~name:"transformer_layer_noffn"
+      [ Cascades.qkv (); Cascades.mha (); Cascades.add_layernorm () ]
+
+let transfusion_execution ctx =
+  let cascade = layer_cascade ctx in
+  let dp = cached_pipelined ~mode:`Dp ~tag:"transfusion-layer" ctx cascade in
+  (* DPipe's candidate space contains the static layer-sequential schedule,
+     so the better of the two is what the scheduler would emit; the greedy
+     DP evaluation occasionally loses a percent to it on chunky DAGs. *)
+  let static = layerfuse_layer_exec ctx in
+  let layer_exec, parts =
+    if dp.makespan <= static.Phase.makespan_cycles then (exec_of_summary dp, transfusion_parts ctx dp)
+    else (static, layerfuse_parts ctx)
+  in
+  ( {
+      Phase.makespan_cycles = ctx.layers *. layer_exec.Phase.makespan_cycles;
+      useful_2d_slots = ctx.layers *. layer_exec.Phase.useful_2d_slots;
+      useful_1d_slots = ctx.layers *. layer_exec.Phase.useful_1d_slots;
+    },
+    parts )
+
+(* TransFusion adapts its fusion scope to the architecture (paper Section
+   1: fusion "must be aware of and able to adapt to ... constraints of
+   diverse hardware"): the full-stack fused schedule keeps activations
+   on-chip but re-streams every weight per outer tile, while the
+   intra-layer variant keeps the weight-stationary matmul I/O and pays
+   one activation round-trip per layer.  Both use the same DPipe
+   execution; the scheduler keeps the cheaper. *)
+let transfusion_phase ctx config =
+  let ctx = { ctx with m0 = config.Tileseek.m0 } in
+  let loads = module_loads ctx Phase.Fused_stack in
+  let execution, parts = transfusion_execution ctx in
+  let candidates =
+    [
+      Phase.v ~name:"stack(transfusion)" ~kind:Phase.Fused_stack ~parts
+        ~traffic:(fused_stack_traffic ctx config loads)
+        ~execution ();
+      Phase.v ~name:"layers(transfusion)" ~kind:Phase.Fused_stack ~parts
+        ~traffic:(intra_layer_traffic ctx config loads)
+        ~execution ();
+    ]
+  in
+  let better a b = if tiling_cost ctx [ a ] <= tiling_cost ctx [ b ] then a else b in
+  List.fold_left better (List.hd candidates) (List.tl candidates)
+
+let transfusion_phases ?tiling ~tileseek_iterations ctx =
+  let config =
+    match tiling with
+    | Some c -> c
+    | None ->
+        let evaluate config = tiling_cost ctx [ transfusion_phase ctx config ] in
+        let config, _stats =
+          Tileseek.search ~iterations:tileseek_iterations ctx.arch ctx.w ~evaluate ()
+        in
+        config
+  in
+  ([ transfusion_phase ctx config ], Some config)
+
+let phases ?tiling ?(tileseek_iterations = 200) ?attention ?include_ffn ?layers ?objective arch
+    w strategy =
+  let ctx = make_ctx ?attention ?include_ffn ?layers ?objective arch w in
+  match strategy with
+  | Unfused -> (unfused_phases ctx, None)
+  | Flat -> (flat_phases ctx, None)
+  | Fusemax -> (fusemax_phases ctx, None)
+  | Fusemax_layerfuse -> layerfuse_phases ?tiling ~tileseek_iterations ctx
+  | Transfusion -> transfusion_phases ?tiling ~tileseek_iterations ctx
+
+let evaluate ?tiling ?tileseek_iterations ?attention ?include_ffn ?layers ?objective arch w
+    strategy =
+  let phase_list, config =
+    phases ?tiling ?tileseek_iterations ?attention ?include_ffn ?layers ?objective arch w strategy
+  in
+  let latency = Latency.evaluate arch phase_list in
+  let traffic = Traffic.sum (List.map (fun (p : Phase.t) -> p.Phase.traffic) phase_list) in
+  let energy = Energy.of_traffic arch traffic in
+  { strategy; arch; workload = w; latency; energy; traffic; tiling = config }
+
+let speedup ~baseline r = baseline.latency.Latency.total_s /. r.latency.Latency.total_s
+
+let energy_ratio ~baseline r =
+  Energy.total_pj r.energy /. Energy.total_pj baseline.energy

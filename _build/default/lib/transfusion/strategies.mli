@@ -1,0 +1,99 @@
+(** The five evaluated schedulers (paper Section 6.1).
+
+    - [Unfused]: every module runs to completion with all intermediates
+      (including the quadratic attention scores) written to off-chip
+      memory; matrix work on the 2D array then vector work on the 1D
+      array, never overlapped.
+    - [Flat]: the attention layer is fused on-chip (no score traffic),
+      everything else as Unfused; no pipelining, softmax entirely on the
+      1D array.
+    - [Fusemax]: attention fused {e and} pipelined with the static FuseMax
+      mapping (per-tile matmuls and partial softmax on the 2D array,
+      cross-tile running-state updates on the 1D array, in-register
+      retention of intermediates); other modules as Unfused.
+    - [Fusemax_layerfuse]: the paper's ablation — FuseMax plus inter-layer
+      fusion of the whole stack (activations propagate on-chip; K/V round
+      trip through DRAM per layer; weights stream per outer tile), but no
+      DPipe: modules execute sequentially inside each tile.
+    - [Transfusion]: full-stack fusion with DPipe pipelining over the
+      29-operation fused-layer DAG and TileSeek-selected outer tiling.
+
+    All five produce {!Tf_costmodel.Phase.t} lists evaluated by the same
+    latency/energy model, mirroring how the paper runs every baseline
+    through its own Timeloop/Accelergy pipeline.
+
+    Modeling notes (documented deviations are listed in DESIGN.md):
+    weight/activation DRAM traffic for large matmuls follows the tiled
+    I/O model [2*R*D*C/sqrt(buffer)] once the working set exceeds the
+    buffer; FLAT's attention uses the same streaming-tile memory model as
+    FuseMax (its row-granularity working set would not fit long
+    sequences), so the FLAT-vs-FuseMax gap is pipelining, as in the
+    paper's own framing. *)
+
+type t = Unfused | Flat | Fusemax | Fusemax_layerfuse | Transfusion
+
+type attention = Self | Causal_self | Cross of { kv_len : int }
+(** Attention flavour of the evaluated layers.  [Self] is the default
+    (encoder); [Causal_self] is masked decoder self-attention (half the
+    attention-loop work on average); [Cross kv_len] attends over an
+    encoder output of the given length (paper Section 3.2's
+    shape-consistent composition of encoders, decoders and hybrids). *)
+
+type objective = Latency_obj | Energy_obj | Edp_obj
+(** TileSeek reward (paper Section 5.1: "the resulting energy or latency
+    can serve as the reward signal").  [Edp_obj] is the energy-delay
+    product. *)
+
+type result = {
+  strategy : t;
+  arch : Tf_arch.Arch.t;
+  workload : Tf_workloads.Workload.t;
+  latency : Tf_costmodel.Latency.t;
+  energy : Tf_costmodel.Energy.breakdown;
+  traffic : Tf_costmodel.Traffic.t;
+  tiling : Tileseek.config option;  (** TransFusion only *)
+}
+
+val all : t list
+(** In paper order: Unfused, FLAT, FuseMax, FuseMax+LayerFuse, TransFusion. *)
+
+val name : t -> string
+val of_name : string -> t option
+
+val phases :
+  ?tiling:Tileseek.config ->
+  ?tileseek_iterations:int ->
+  ?attention:attention ->
+  ?include_ffn:bool ->
+  ?layers:int ->
+  ?objective:objective ->
+  Tf_arch.Arch.t ->
+  Tf_workloads.Workload.t ->
+  t ->
+  Tf_costmodel.Phase.t list * Tileseek.config option
+(** Whole-model phase list.  [tiling] overrides TileSeek for TransFusion
+    (used by TileSeek's own evaluation loop and by tests);
+    [tileseek_iterations] defaults to 200.  [attention], [include_ffn]
+    and [layers] select the sublayer flavour for encoder/decoder
+    composition (see {!Structures}); the defaults evaluate the standard
+    self-attention encoder stack of the model. *)
+
+val evaluate :
+  ?tiling:Tileseek.config ->
+  ?tileseek_iterations:int ->
+  ?attention:attention ->
+  ?include_ffn:bool ->
+  ?layers:int ->
+  ?objective:objective ->
+  Tf_arch.Arch.t ->
+  Tf_workloads.Workload.t ->
+  t ->
+  result
+
+val speedup : baseline:result -> result -> float
+(** [baseline.latency.total_s / r.latency.total_s]. *)
+
+val energy_ratio : baseline:result -> result -> float
+(** Energy of [r] relative to the baseline (< 1 is better). *)
+
+val pp_name : t Fmt.t

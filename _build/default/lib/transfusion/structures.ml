@@ -1,0 +1,75 @@
+open Tf_costmodel
+open Tf_workloads
+
+type sublayer = { attention : Strategies.attention; include_ffn : bool }
+
+type t = { name : string; sublayers : sublayer list; layers : int }
+
+let encoder ?layers (m : Model.t) =
+  {
+    name = m.Model.name ^ "-encoder";
+    sublayers = [ { attention = Strategies.Self; include_ffn = true } ];
+    layers = Option.value layers ~default:m.Model.layers;
+  }
+
+let decoder ?layers ~encoder_len (m : Model.t) =
+  {
+    name = m.Model.name ^ "-decoder";
+    sublayers =
+      [
+        { attention = Strategies.Causal_self; include_ffn = false };
+        { attention = Strategies.Cross { kv_len = encoder_len }; include_ffn = true };
+      ];
+    layers = Option.value layers ~default:m.Model.layers;
+  }
+
+let decoder_only ?layers (m : Model.t) =
+  {
+    name = m.Model.name ^ "-decoder-only";
+    sublayers = [ { attention = Strategies.Causal_self; include_ffn = true } ];
+    layers = Option.value layers ~default:m.Model.layers;
+  }
+
+let encoder_decoder ?layers (m : Model.t) ~seq_len =
+  [ encoder ?layers m; decoder ?layers ~encoder_len:seq_len m ]
+
+type result = {
+  structure : t;
+  strategy : Strategies.t;
+  latency : Latency.t;
+  energy : Energy.breakdown;
+  traffic : Traffic.t;
+}
+
+let evaluate ?tileseek_iterations arch w structure strategy =
+  let phase_lists =
+    List.map
+      (fun sub ->
+        fst
+          (Strategies.phases ?tileseek_iterations ~attention:sub.attention
+             ~include_ffn:sub.include_ffn ~layers:structure.layers arch w strategy))
+      structure.sublayers
+  in
+  let phase_list = List.concat phase_lists in
+  let latency = Latency.evaluate arch phase_list in
+  let traffic = Traffic.sum (List.map (fun (p : Phase.t) -> p.Phase.traffic) phase_list) in
+  { structure; strategy; latency; energy = Energy.of_traffic arch traffic; traffic }
+
+let total_seconds results =
+  List.fold_left (fun acc r -> acc +. r.latency.Latency.total_s) 0. results
+
+let total_energy_pj results =
+  List.fold_left (fun acc r -> acc +. Energy.total_pj r.energy) 0. results
+
+let pp ppf t =
+  let sublayer_to_string s =
+    let att =
+      match s.attention with
+      | Strategies.Self -> "self"
+      | Strategies.Causal_self -> "causal"
+      | Strategies.Cross { kv_len } -> Printf.sprintf "cross(%d)" kv_len
+    in
+    att ^ if s.include_ffn then "+ffn" else ""
+  in
+  Fmt.pf ppf "%s: %d x [%s]" t.name t.layers
+    (String.concat "; " (List.map sublayer_to_string t.sublayers))

@@ -1,0 +1,269 @@
+open Tf_arch
+open Tf_workloads
+
+type config = { b : int; d : int; p : int; m1 : int; m0 : int; s : int }
+
+(* P' is the intra-tile sequence length processed per PE row (paper
+   Section 5.2): the query tile spread over the 2D array's rows. *)
+let p_row (arch : Arch.t) config =
+  Int.max 1 (config.p / Pe_array.rows arch.pe_2d)
+
+let dims arch (w : Workload.t) config =
+  Buffer_req.of_workload w ~b:config.b ~d:config.d ~p:config.p ~m1:config.m1 ~m0:config.m0
+    ~s:config.s ~p_row:(p_row arch config)
+
+let feasible arch (w : Workload.t) config =
+  config.m1 * config.m0 <= w.seq_len
+  && w.seq_len mod (config.m1 * config.m0) = 0
+  && Buffer_req.fits ~buffer_elements:(Arch.buffer_elements arch) (dims arch w config)
+
+(* Powers of two that divide [n], capped, plus [n] itself when small. *)
+let pow2_divisors ?(cap = max_int) n =
+  let rec grow acc v = if v <= n && v <= cap && n mod v = 0 then grow (v :: acc) (2 * v) else acc in
+  List.rev (grow [] 1)
+
+let all_divisors n =
+  let rec loop acc k =
+    if k > n then List.rev acc else loop (if n mod k = 0 then k :: acc else acc) (k + 1)
+  in
+  loop [] 1
+
+(* Thin a divisor list to at most [keep] geometrically spread options. *)
+let thin keep l =
+  let n = List.length l in
+  if n <= keep then l
+  else
+    let arr = Array.of_list l in
+    List.init keep (fun i -> arr.(i * (n - 1) / (keep - 1))) |> List.sort_uniq compare
+
+let b_options (w : Workload.t) = pow2_divisors w.batch
+let d_options (w : Workload.t) = thin 12 (all_divisors w.model.Model.d_model)
+
+(* Query tiles need not divide the sequence (the last tile may be ragged),
+   so 3*2^k options are offered alongside powers of two: they matter when
+   a power of two just misses the Table 2 budget. *)
+let p_options (w : Workload.t) =
+  let pow2 = pow2_divisors ~cap:8192 w.seq_len in
+  let three_pow2 =
+    List.filter_map (fun p -> if 3 * p <= Int.min 8192 w.seq_len then Some (3 * p) else None) pow2
+  in
+  List.sort_uniq compare (pow2 @ three_pow2)
+let m0_options (w : Workload.t) = pow2_divisors ~cap:512 w.seq_len
+
+let m1_options (w : Workload.t) ~m0 =
+  pow2_divisors ~cap:64 (w.seq_len / m0)
+
+let s_options (w : Workload.t) = thin 12 (all_divisors w.model.Model.ffn_hidden)
+
+let config_of_path path =
+  match path with
+  | [ b; d; p; m0; m1; s ] -> { b; d; p; m1; m0; s }
+  | _ -> invalid_arg "Tileseek.config_of_path: incomplete path"
+
+let fallback arch w =
+  let head l = List.hd l in
+  let candidate =
+    {
+      b = head (b_options w);
+      d = head (d_options w);
+      p = head (p_options w);
+      m1 = 1;
+      m0 = head (m0_options w);
+      s = head (s_options w);
+    }
+  in
+  if feasible arch w candidate then candidate
+  else
+    invalid_arg
+      (Fmt.str "Tileseek.fallback: minimal tile does not fit %s for %a" arch.Arch.name Workload.pp w)
+
+let grow arch w config options update =
+  List.fold_left
+    (fun best option ->
+      let candidate = update best option in
+      if feasible arch w candidate then candidate else best)
+    config (options w)
+
+let greedy_with arch w ~m0_first =
+  let base = fallback arch w in
+  let grow = grow arch w in
+  let grow_p c = grow c p_options (fun c p -> { c with p }) in
+  let grow_m0 c = grow c m0_options (fun c m0 -> { c with m0 }) in
+  let config = if m0_first then grow_p (grow_m0 base) else grow_m0 (grow_p base) in
+  let config = grow config d_options (fun c d -> { c with d }) in
+  let config = grow config s_options (fun c s -> { c with s }) in
+  let config = grow config (fun w -> m1_options w ~m0:config.m0) (fun c m1 -> { c with m1 }) in
+  grow config b_options (fun c b -> { c with b })
+
+(* Alternate single-step growth of the query tile and the key/value tile
+   until neither can advance — walks to a balanced point of the Table 2
+   frontier that the one-dimension-first orders overshoot. *)
+let greedy_balanced arch w =
+  let base = fallback arch w in
+  let next options current =
+    let rec scan = function
+      | a :: rest when a <= current -> scan rest
+      | a :: _ -> Some a
+      | [] -> None
+    in
+    scan options
+  in
+  let progress options current =
+    let len = List.length options in
+    let idx = List.length (List.filter (fun o -> o <= current) options) in
+    if len <= 1 then 1. else float_of_int idx /. float_of_int len
+  in
+  let try_bump config get set options =
+    match next options (get config) with
+    | Some v when feasible arch w (set config v) -> (set config v, true)
+    | _ -> (config, false)
+  in
+  let step config =
+    (* Advance whichever dimension is proportionally further behind, so
+       neither exhausts its option list while the other idles. *)
+    let p_opts = p_options w and m0_opts = m0_options w in
+    let p_first = progress p_opts config.p <= progress m0_opts config.m0 in
+    let bump_p c = try_bump c (fun c -> c.p) (fun c p -> { c with p }) p_opts in
+    let bump_m0 c = try_bump c (fun c -> c.m0) (fun c m0 -> { c with m0 }) m0_opts in
+    let config, moved1 = if p_first then bump_p config else bump_m0 config in
+    if moved1 then (config, true)
+    else if p_first then bump_m0 config
+    else bump_p config
+  in
+  let rec walk config =
+    let config, moved = step config in
+    if moved then walk config else config
+  in
+  let config = walk base in
+  let grow = grow arch w in
+  let config = grow config d_options (fun c d -> { c with d }) in
+  let config = grow config s_options (fun c s -> { c with s }) in
+  let config = grow config (fun w -> m1_options w ~m0:config.m0) (fun c m1 -> { c with m1 }) in
+  grow config b_options (fun c b -> { c with b })
+
+let greedy arch w = greedy_with arch w ~m0_first:false
+
+let greedy_variants arch w =
+  [ greedy_with arch w ~m0_first:false; greedy_with arch w ~m0_first:true; greedy_balanced arch w ]
+
+(* Deterministic warm start: sweep the (query tile, key/value tile) grid —
+   the two dimensions that trade residency against running-state update
+   cost — growing the remaining factors greedily at each point. *)
+let grid_seed arch w ~evaluate =
+  let base = fallback arch w in
+  let grow = grow arch w in
+  let best = ref None in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun m0 ->
+          let candidate = { base with p; m0 } in
+          if feasible arch w candidate then begin
+            let candidate = grow candidate d_options (fun c d -> { c with d }) in
+            let candidate = grow candidate s_options (fun c s -> { c with s }) in
+            let candidate =
+              grow candidate (fun w -> m1_options w ~m0:candidate.m0) (fun c m1 -> { c with m1 })
+            in
+            let candidate = grow candidate b_options (fun c b -> { c with b }) in
+            let cost = evaluate candidate in
+            match !best with
+            | Some (_, c) when c <= cost -> ()
+            | _ -> best := Some (candidate, cost)
+          end)
+        (m0_options w))
+    (p_options w);
+  match !best with Some r -> r | None -> (base, evaluate base)
+
+let log_src = Logs.Src.create "transfusion.tileseek" ~doc:"TileSeek tiling search"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let pareto ?(iterations = 200) arch w ~latency ~energy () =
+  (* Candidate pool: the full grid plus random completions. *)
+  let base = fallback arch w in
+  let grow = grow arch w in
+  let pool = ref [] in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun m0 ->
+          let candidate = { base with p; m0 } in
+          if feasible arch w candidate then begin
+            let candidate = grow candidate d_options (fun c d -> { c with d }) in
+            let candidate = grow candidate s_options (fun c s -> { c with s }) in
+            let candidate = grow candidate b_options (fun c b -> { c with b }) in
+            pool := candidate :: !pool
+          end)
+        (m0_options w))
+    (p_options w);
+  let rng = Random.State.make [| 2024 |] in
+  let pick options = List.nth options (Random.State.int rng (List.length options)) in
+  for _ = 1 to iterations do
+    let candidate =
+      {
+        b = pick (b_options w);
+        d = pick (d_options w);
+        p = pick (p_options w);
+        m1 = 1;
+        m0 = pick (m0_options w);
+        s = pick (s_options w);
+      }
+    in
+    if feasible arch w candidate then pool := candidate :: !pool
+  done;
+  let scored =
+    List.sort_uniq compare !pool |> List.map (fun c -> (c, latency c, energy c))
+  in
+  let dominated (_, l, e) =
+    List.exists
+      (fun (_, l', e') -> (l' < l && e' <= e) || (l' <= l && e' < e))
+      scored
+  in
+  List.filter (fun entry -> not (dominated entry)) scored
+  |> List.sort (fun (_, l1, _) (_, l2, _) -> compare l1 l2)
+
+let search ?(iterations = 400) ?(seed = 42) arch w ~evaluate () =
+  let seeds =
+    grid_seed arch w ~evaluate
+    :: List.map (fun c -> (c, evaluate c)) (greedy_variants arch w)
+  in
+  let seed_config, seed_cost =
+    List.fold_left (fun (bc, bcost) (c, cost) -> if cost < bcost then (c, cost) else (bc, bcost))
+      (List.hd seeds) (List.tl seeds)
+  in
+  let ref_cost = seed_cost in
+  let actions path =
+    match List.length path with
+    | 0 -> b_options w
+    | 1 -> d_options w
+    | 2 -> p_options w
+    | 3 -> m0_options w
+    | 4 ->
+        let m0 = List.nth path 3 in
+        m1_options w ~m0
+    | 5 -> s_options w
+    | _ -> []
+  in
+  let reward path =
+    let config = config_of_path path in
+    if not (feasible arch w config) then 0.
+    else
+      let cost = evaluate config in
+      if cost <= 0. then 0. else ref_cost /. cost
+  in
+  let rng = Random.State.make [| seed |] in
+  let best, stats = Mcts.search ~rng ~iterations { actions; reward } in
+  (* The hand heuristic competes with the search result: MCTS must beat
+     it to displace it (reward 1.0 = the heuristic's own cost). *)
+  let result =
+    match best with
+    | Some (path, reward) when reward > 1. -> (config_of_path path, stats)
+    | _ -> (seed_config, stats)
+  in
+  let config = fst result in
+  Log.debug (fun m ->
+      m "search(%s, %s/%d): b=%d d=%d p=%d m1=%d m0=%d s=%d (best reward %.3f over %d terminals)"
+        arch.Arch.name w.Workload.model.Tf_workloads.Model.name w.Workload.seq_len config.b
+        config.d config.p config.m1 config.m0 config.s stats.Mcts.best_reward
+        stats.Mcts.terminals_evaluated);
+  result

@@ -1,0 +1,73 @@
+(** TileSeek: MCTS search over outer tiling factors (paper Section 5).
+
+    A configuration fixes the resident tile along every outer dimension of
+    the fused stack — [B, D, M1, P, S] plus the inner key/value split
+    [M0] — i.e. how data blocks move from off-chip memory into the on-chip
+    buffer.  Feasibility is the Table 2 buffer model ({!Buffer_req});
+    quality is whatever cost the caller's [evaluate] returns (latency,
+    energy, or EDP of the resulting full schedule — the Timeloop/Accelergy
+    role in the paper).  Infeasible configurations receive zero reward, so
+    the search is pruned toward the implementable region. *)
+
+type config = {
+  b : int;  (** batch tile *)
+  d : int;  (** model-dimension slice *)
+  p : int;  (** query-sequence tile *)
+  m1 : int;  (** resident outer key/value tiles *)
+  m0 : int;  (** inner key/value tile *)
+  s : int;  (** FFN-hidden slice *)
+}
+
+val p_row : Tf_arch.Arch.t -> config -> int
+(** P': intra-tile sequence length per PE row — [p / rows(2D array)],
+    at least 1 (paper Section 5.2). *)
+
+val dims : Tf_arch.Arch.t -> Tf_workloads.Workload.t -> config -> Buffer_req.dims
+
+val feasible : Tf_arch.Arch.t -> Tf_workloads.Workload.t -> config -> bool
+(** Table 2 check against the architecture's buffer. *)
+
+val fallback : Tf_arch.Arch.t -> Tf_workloads.Workload.t -> config
+(** A conservative feasible configuration found by shrinking every factor
+    (used to seed reward normalisation and as the result of last resort).
+    @raise Invalid_argument if even the minimal configuration does not
+    fit. *)
+
+val greedy : Tf_arch.Arch.t -> Tf_workloads.Workload.t -> config
+(** A hand-heuristic tiling: grow each factor (query tile first, then the
+    model-dimension and FFN slices, the key/value tiles, the batch tile)
+    to the largest feasible option.  This is the tiling discipline the
+    FuseMax+LayerFuse ablation uses — inter-layer fusion without search. *)
+
+val greedy_variants : Tf_arch.Arch.t -> Tf_workloads.Workload.t -> config list
+(** The greedy growth orders (query-tile-first, key/value-tile-first, and
+    balanced alternation); callers evaluate and keep the best. *)
+
+val pareto :
+  ?iterations:int ->
+  Tf_arch.Arch.t ->
+  Tf_workloads.Workload.t ->
+  latency:(config -> float) ->
+  energy:(config -> float) ->
+  unit ->
+  (config * float * float) list
+(** The Pareto-optimal feasible tilings over (latency, energy), from the
+    deterministic grid sweep plus [iterations] random MCTS-style samples
+    (default 200): no returned configuration is dominated by another on
+    both objectives.  Sorted by latency.  This is the design-space view
+    behind the EDP objective — the paper's reward can be either metric
+    (Section 5.1). *)
+
+val search :
+  ?iterations:int ->
+  ?seed:int ->
+  Tf_arch.Arch.t ->
+  Tf_workloads.Workload.t ->
+  evaluate:(config -> float) ->
+  unit ->
+  config * Mcts.stats
+(** [search arch w ~evaluate ()] explores tiling space with MCTS
+    ([iterations] defaults to 400; [seed] to 42) and returns the best
+    feasible configuration.  [evaluate] maps a feasible configuration to a
+    positive cost (lower is better); the reward is the fallback's cost over
+    the candidate's.  Deterministic for fixed seed. *)

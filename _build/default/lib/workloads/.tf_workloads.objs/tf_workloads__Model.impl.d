@@ -1,0 +1,1 @@
+lib/workloads/model.ml: Fmt Printf Tf_einsum

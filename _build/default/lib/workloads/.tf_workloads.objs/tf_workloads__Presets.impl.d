@@ -1,0 +1,1 @@
+lib/workloads/presets.ml: List Model Scalar_op Tf_einsum

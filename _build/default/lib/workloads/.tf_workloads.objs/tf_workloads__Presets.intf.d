@@ -1,0 +1,1 @@
+lib/workloads/presets.mli: Model

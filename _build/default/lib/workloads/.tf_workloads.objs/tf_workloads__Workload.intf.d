@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Fmt Model Tf_einsum

@@ -1,0 +1,24 @@
+open Tf_einsum
+
+let bert =
+  Model.v ~name:"BERT" ~d_model:768 ~heads:12 ~head_dim:64 ~ffn_hidden:3072 ~layers:12
+    ~activation:Scalar_op.Gelu
+
+let trxl =
+  Model.v ~name:"TrXL" ~d_model:1024 ~heads:16 ~head_dim:64 ~ffn_hidden:4096 ~layers:18
+    ~activation:Scalar_op.Relu
+
+let t5 =
+  Model.v ~name:"T5" ~d_model:512 ~heads:8 ~head_dim:64 ~ffn_hidden:2048 ~layers:6
+    ~activation:Scalar_op.Relu
+
+let xlm =
+  Model.v ~name:"XLM" ~d_model:1024 ~heads:8 ~head_dim:128 ~ffn_hidden:4096 ~layers:6
+    ~activation:Scalar_op.Gelu
+
+let llama3 =
+  Model.v ~name:"Llama3" ~d_model:4096 ~heads:32 ~head_dim:128 ~ffn_hidden:14336 ~layers:32
+    ~activation:Scalar_op.Silu
+
+let all = [ bert; trxl; t5; xlm; llama3 ]
+let by_name name = List.find_opt (fun (m : Model.t) -> m.name = name) all

@@ -1,0 +1,23 @@
+(** The evaluated models (paper Section 6.1): BERT-Base, TrXL-wt103,
+    T5-small, XLM and Llama3-8B, the benchmark set inherited from FLAT and
+    FuseMax plus Llama3.  Dimensions are the published configurations. *)
+
+val bert : Model.t
+(** BERT-Base: D=768, H=12, E=64, S=3072, 12 layers, GeLU. *)
+
+val trxl : Model.t
+(** Transformer-XL wt103: D=1024, H=16, E=64, S=4096, 18 layers, ReLU. *)
+
+val t5 : Model.t
+(** T5-small: D=512, H=8, E=64, S=2048, 6 layers, ReLU. *)
+
+val xlm : Model.t
+(** XLM (en-fr): D=1024, H=8, E=128, S=4096, 6 layers, GeLU. *)
+
+val llama3 : Model.t
+(** Llama3-8B: D=4096, H=32, E=128, S=14336, 32 layers, SiLU. *)
+
+val all : Model.t list
+(** The five models in paper order (BERT, TrXL, T5, XLM, Llama3). *)
+
+val by_name : string -> Model.t option

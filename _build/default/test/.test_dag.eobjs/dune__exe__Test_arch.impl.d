@@ -1,0 +1,1 @@
+test/test_arch.ml: Accelergy Alcotest Arch Energy_table Float List Pe_array Presets QCheck QCheck_alcotest Tf_arch

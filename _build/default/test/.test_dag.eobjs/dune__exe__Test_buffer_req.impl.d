@@ -1,0 +1,1 @@
+test/test_buffer_req.ml: Alcotest Arch Einsum Extents List Pe_array QCheck QCheck_alcotest Scalar_op Tensor_ref Tf_arch Tf_einsum Tf_workloads Transfusion

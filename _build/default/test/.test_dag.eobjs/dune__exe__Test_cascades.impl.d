@@ -1,0 +1,1 @@
+test/test_cascades.ml: Alcotest Array Cascade Einsum Extents Float List QCheck QCheck_alcotest Random Scalar_op Tf_dag Tf_einsum Tf_tensor Transfusion

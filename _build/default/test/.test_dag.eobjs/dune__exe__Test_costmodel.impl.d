@@ -1,0 +1,1 @@
+test/test_costmodel.ml: Alcotest Arch Einsum Energy Energy_table Extents Float Latency List Pe_array Phase QCheck QCheck_alcotest Roofline Tensor_ref Tf_arch Tf_costmodel Tf_einsum Traffic

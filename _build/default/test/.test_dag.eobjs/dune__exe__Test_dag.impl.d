@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Fmt Fun Hashtbl List QCheck QCheck_alcotest String Tf_dag

@@ -1,0 +1,1 @@
+test/test_dpipe.ml: Alcotest Arch Array Fun List Pe_array QCheck QCheck_alcotest Random Tf_arch Tf_dag Transfusion

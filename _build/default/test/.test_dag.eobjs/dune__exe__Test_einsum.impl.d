@@ -1,0 +1,1 @@
+test/test_einsum.ml: Alcotest Cascade Einsum Extents Float List Printf QCheck QCheck_alcotest Scalar_op Tensor_ref Tf_dag Tf_einsum

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List Presets Printf Tf_arch Tf_experiments Tf_workloads Transfusion Workload

@@ -1,0 +1,1 @@
+test/test_inner_mapping.ml: Alcotest Extents List QCheck QCheck_alcotest Tf_arch Tf_einsum Transfusion

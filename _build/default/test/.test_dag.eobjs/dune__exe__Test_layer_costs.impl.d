@@ -1,0 +1,1 @@
+test/test_layer_costs.ml: Alcotest Float List Model Printf QCheck QCheck_alcotest Tf_einsum Tf_workloads Transfusion Workload

@@ -1,0 +1,1 @@
+test/test_loopnest.ml: Alcotest Einsum Extents List QCheck QCheck_alcotest Tensor_ref Tf_arch Tf_costmodel Tf_einsum

@@ -1,0 +1,1 @@
+test/test_mcts.ml: Alcotest Hashtbl List QCheck QCheck_alcotest Random Transfusion

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Cascade Einsum Extents Fmt List Parser Printf QCheck QCheck_alcotest Random Result Scalar_op Tensor_ref Tf_einsum Tf_tensor Transfusion

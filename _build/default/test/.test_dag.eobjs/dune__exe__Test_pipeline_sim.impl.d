@@ -1,0 +1,1 @@
+test/test_pipeline_sim.ml: Alcotest Arch Fun List Pe_array Printf QCheck QCheck_alcotest Random String Tf_arch Tf_dag Transfusion

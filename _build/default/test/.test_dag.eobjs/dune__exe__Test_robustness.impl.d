@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Filename Float List Model Presets String Tf_arch Tf_costmodel Tf_einsum Tf_experiments Tf_workloads Transfusion Workload

@@ -1,0 +1,1 @@
+test/test_strategies.ml: Alcotest Arch Float Hashtbl List Model Printf Tf_arch Tf_costmodel Tf_workloads Transfusion Workload

@@ -1,0 +1,1 @@
+test/test_structures.ml: Alcotest List Model Tf_arch Tf_costmodel Tf_workloads Transfusion Workload

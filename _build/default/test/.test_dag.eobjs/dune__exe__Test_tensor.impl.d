@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Cascade Einsum Extents Float List Printf QCheck QCheck_alcotest Random Scalar_op Tensor_ref Tf_einsum Tf_tensor

@@ -1,0 +1,1 @@
+test/test_tileseek.ml: Alcotest Arch List Printf QCheck QCheck_alcotest Tf_arch Tf_workloads Transfusion Workload

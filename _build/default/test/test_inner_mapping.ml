@@ -1,0 +1,108 @@
+(* Tests for the Table 1 intra-layer dimension mapping. *)
+
+module Im = Transfusion.Inner_mapping
+open Tf_einsum
+
+let extents =
+  Extents.of_list [ ("p", 512); ("m0", 128); ("h", 8); ("e", 64); ("f", 64); ("s", 2048) ]
+
+let cloud = Tf_arch.Presets.cloud
+let edge = Tf_arch.Presets.edge
+
+let test_table1 () =
+  let check kind rows cols =
+    let a = Im.table1 kind in
+    Alcotest.(check (list string)) (Im.module_kind_to_string kind ^ " rows") rows a.Im.rows;
+    Alcotest.(check (list string)) (Im.module_kind_to_string kind ^ " cols") cols a.Im.cols
+  in
+  check Im.Qkv_q [ "p" ] [ "h"; "e" ];
+  check Im.Qkv_kv [ "m0" ] [ "h"; "e" ];
+  check Im.Mha [ "p" ] [ "m0" ];
+  check Im.Layernorm [ "p" ] [ "h"; "f" ];
+  check Im.Ffn [ "p" ] [ "s" ]
+
+let test_extents_products () =
+  let t = Im.inner_tile cloud extents Im.Qkv_q in
+  Alcotest.(check int) "row extent p" 512 t.Im.row_extent;
+  Alcotest.(check int) "col extent h*e" 512 t.Im.col_extent
+
+let test_clipping_cloud () =
+  (* Cloud 256x256 array: 512 rows -> 2 row passes; 512 cols -> 2 col
+     passes. *)
+  let t = Im.inner_tile cloud extents Im.Qkv_q in
+  Alcotest.(check int) "tile rows clipped" 256 t.Im.tile_rows;
+  Alcotest.(check int) "tile cols clipped" 256 t.Im.tile_cols;
+  Alcotest.(check int) "row passes" 2 t.Im.row_passes;
+  Alcotest.(check int) "col passes" 2 t.Im.col_passes;
+  Alcotest.(check (float 1e-9)) "full utilization" 1. t.Im.utilization
+
+let test_clipping_edge () =
+  (* Edge 16x16 array: the FFN tile is 16x16 of a 512x2048 space. *)
+  let t = Im.inner_tile edge extents Im.Ffn in
+  Alcotest.(check int) "rows" 16 t.Im.tile_rows;
+  Alcotest.(check int) "row passes" 32 t.Im.row_passes;
+  Alcotest.(check int) "col passes" 128 t.Im.col_passes;
+  Alcotest.(check int) "total passes" (32 * 128) (Im.passes t)
+
+let test_head_packing () =
+  (* MHA tile is p x m0 = 256 x 128 on cloud: two head tiles fit in the
+     256 columns. *)
+  let t = Im.inner_tile cloud extents Im.Mha in
+  Alcotest.(check int) "heads packed" 2 t.Im.heads_packed;
+  Alcotest.(check (float 1e-9)) "array filled by packing" 1. t.Im.utilization;
+  (* Packing is bounded by the head count. *)
+  let few_heads = Extents.add "h" 1 extents in
+  let t1 = Im.inner_tile cloud few_heads Im.Mha in
+  Alcotest.(check int) "bounded by heads" 1 t1.Im.heads_packed;
+  (* Non-MHA modules never pack. *)
+  let t2 = Im.inner_tile cloud extents Im.Layernorm in
+  Alcotest.(check int) "layernorm unpacked" 1 t2.Im.heads_packed
+
+let test_small_tile_utilization () =
+  (* A 4-token tile on the cloud array uses 4/256 of the rows. *)
+  let small = Extents.add "p" 4 (Extents.of_list [ ("h", 2); ("f", 8) ]) in
+  let t = Im.inner_tile cloud small Im.Layernorm in
+  Alcotest.(check (float 1e-9)) "underutilized" (4. *. 16. /. 65536.) t.Im.utilization;
+  Alcotest.(check int) "single pass" 1 (Im.passes t)
+
+let prop_utilization_bounds =
+  QCheck.Test.make ~name:"utilization in (0, 1]; passes >= 1" ~count:100
+    QCheck.(
+      quad (int_range 1 2048) (int_range 1 512) (int_range 1 16) (int_range 1 128))
+    (fun (p, m0, h, e) ->
+      let extents =
+        Extents.of_list [ ("p", p); ("m0", m0); ("h", h); ("e", e); ("f", e); ("s", 64) ]
+      in
+      List.for_all
+        (fun kind ->
+          let t = Im.inner_tile edge extents kind in
+          t.Im.utilization > 0. && t.Im.utilization <= 1. && Im.passes t >= 1)
+        [ Im.Qkv_q; Im.Qkv_kv; Im.Mha; Im.Layernorm; Im.Ffn ])
+
+let prop_passes_cover_space =
+  QCheck.Test.make ~name:"passes cover the full index space" ~count:100
+    QCheck.(pair (int_range 1 4096) (int_range 1 4096))
+    (fun (p, s) ->
+      let extents =
+        Extents.of_list [ ("p", p); ("m0", 1); ("h", 1); ("e", 1); ("f", 1); ("s", s) ]
+      in
+      let t = Im.inner_tile edge extents Im.Ffn in
+      t.Im.row_passes * t.Im.tile_rows >= t.Im.row_extent
+      && t.Im.col_passes * t.Im.tile_cols >= t.Im.col_extent)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "transfusion_inner_mapping"
+    [
+      ( "table1",
+        [
+          quick "index assignments" test_table1;
+          quick "extent products" test_extents_products;
+          quick "clipping (cloud)" test_clipping_cloud;
+          quick "clipping (edge)" test_clipping_edge;
+          quick "head packing" test_head_packing;
+          quick "small-tile utilization" test_small_tile_utilization;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_utilization_bounds; prop_passes_cover_space ] );
+    ]

@@ -1,0 +1,225 @@
+(* Tests for the Timeloop-style loop-nest analysis: footprints, the reuse
+   rule, DRAM traffic of classic matmul dataflows, occupancy and
+   validation — plus a consistency cross-check against the coarser
+   traffic recipe used by the strategies. *)
+
+module Loopnest = Tf_costmodel.Loopnest
+open Tf_einsum
+
+let r = Tensor_ref.v
+let a_ref = r "A" [ "m"; "k" ]
+let b_ref = r "B" [ "k"; "n" ]
+let c_ref = r "Z" [ "m"; "n" ]
+let matmul = Einsum.contraction c_ref [ a_ref; b_ref ]
+
+let loop index extent level = { Loopnest.index; extent; level }
+
+(* A weight-stationary mapping of a 64x32x16 matmul: the B (weight) tile
+   [k x n] stays in the buffer while m streams. *)
+let weight_stationary =
+  Loopnest.v
+    ~extents:(Extents.of_list [ ("m", 64); ("k", 32); ("n", 16) ])
+    matmul
+    [
+      loop "m" 8 Loopnest.Dram;
+      (* tile below: m=8, full k, full n *)
+      loop "m" 8 Loopnest.Buffer;
+      loop "k" 32 Loopnest.Buffer;
+      loop "n" 16 Loopnest.Spatial;
+    ]
+
+let test_validation () =
+  let raises label f =
+    Alcotest.(check bool) label true (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  raises "bad extent" (fun () -> Loopnest.v matmul [ loop "m" 0 Loopnest.Dram ]);
+  raises "bad level order" (fun () ->
+      Loopnest.v matmul [ loop "m" 2 Loopnest.Buffer; loop "k" 2 Loopnest.Dram ]);
+  raises "unknown index" (fun () -> Loopnest.v matmul [ loop "zz" 2 Loopnest.Dram ]);
+  raises "coverage" (fun () ->
+      Loopnest.v
+        ~extents:(Extents.of_list [ ("m", 64); ("k", 32); ("n", 16) ])
+        matmul
+        [ loop "m" 4 Loopnest.Dram; loop "k" 32 Loopnest.Buffer; loop "n" 16 Loopnest.Buffer ])
+
+let test_footprints () =
+  let t = weight_stationary in
+  (* Buffer tiles: A is m(8) x k(32) = 256, B is k(32) x n(16) = 512,
+     Z is m(8) x n(16) = 128. *)
+  Alcotest.(check (float 0.)) "A tile" 256. (Loopnest.footprint t ~tensor:a_ref ~below:Loopnest.Buffer);
+  Alcotest.(check (float 0.)) "B tile" 512. (Loopnest.footprint t ~tensor:b_ref ~below:Loopnest.Buffer);
+  Alcotest.(check (float 0.)) "Z tile" 128. (Loopnest.footprint t ~tensor:c_ref ~below:Loopnest.Buffer);
+  Alcotest.(check (float 0.)) "occupancy" 896. (Loopnest.buffer_occupancy t)
+
+let test_weight_stationary_traffic () =
+  let t = weight_stationary in
+  (* A: 8 distinct tiles of 256 -> 2048 = |A| read once. *)
+  Alcotest.(check (float 0.)) "A read once" 2048. (Loopnest.reads t ~tensor:a_ref ~into:Loopnest.Buffer);
+  (* B: the m loop above is irrelevant to B -> full reuse, read once. *)
+  Alcotest.(check (float 0.)) "B read once" 512. (Loopnest.reads t ~tensor:b_ref ~into:Loopnest.Buffer);
+  (* Z: 8 distinct tiles, no reduction loop at DRAM -> written once. *)
+  Alcotest.(check (float 0.)) "Z written once" 1024. (Loopnest.writes t ~into:Loopnest.Buffer);
+  Alcotest.(check (float 0.)) "total" (2048. +. 512. +. 1024.) (Loopnest.dram_traffic t)
+
+let test_streaming_weights_traffic () =
+  (* The opposite loop order: n at DRAM above m — the A tile is re-read
+     per n tile. *)
+  let t =
+    Loopnest.v matmul
+      [
+        loop "n" 4 Loopnest.Dram;
+        loop "m" 8 Loopnest.Dram;
+        loop "m" 8 Loopnest.Buffer;
+        loop "k" 32 Loopnest.Buffer;
+        loop "n" 4 Loopnest.Buffer;
+      ]
+  in
+  (* A tile = 8 x 32 = 256; m loop relevant (8 tiles), n loop above also
+     multiplies once a relevant loop was seen -> 4 x 8 x 256 = |A| x 4. *)
+  Alcotest.(check (float 0.)) "A re-read per n tile" (4. *. 8. *. 256.)
+    (Loopnest.reads t ~tensor:a_ref ~into:Loopnest.Buffer);
+  (* B tile = 32 x 4 = 128; m (inner, irrelevant to B) reuses, n above is
+     relevant -> 4 x 128 = |B| once. *)
+  Alcotest.(check (float 0.)) "B read once" 512. (Loopnest.reads t ~tensor:b_ref ~into:Loopnest.Buffer)
+
+let test_reduction_spill () =
+  (* Splitting the reduction at DRAM forces output read-modify-write. *)
+  let t =
+    Loopnest.v matmul
+      [
+        loop "k" 4 Loopnest.Dram;
+        loop "m" 64 Loopnest.Buffer;
+        loop "k" 8 Loopnest.Buffer;
+        loop "n" 16 Loopnest.Buffer;
+      ]
+  in
+  (* Z tile = full 64 x 16 = 1024; the k loop above is irrelevant to Z,
+     and it is the trailing run -> the tile stays resident, written once. *)
+  Alcotest.(check (float 0.)) "accumulate in buffer" 1024. (Loopnest.writes t ~into:Loopnest.Buffer);
+  (* But with an output-relevant loop outside the reduction loop, each
+     revisit spills. *)
+  let spilling =
+    Loopnest.v matmul
+      [
+        loop "m" 4 Loopnest.Dram;
+        loop "k" 4 Loopnest.Dram;
+        loop "m" 16 Loopnest.Buffer;
+        loop "k" 8 Loopnest.Buffer;
+        loop "n" 16 Loopnest.Buffer;
+      ]
+  in
+  ignore spilling;
+  let inverted =
+    Loopnest.v matmul
+      [
+        loop "k" 4 Loopnest.Dram;
+        loop "m" 4 Loopnest.Dram;
+        loop "m" 16 Loopnest.Buffer;
+        loop "k" 8 Loopnest.Buffer;
+        loop "n" 16 Loopnest.Buffer;
+      ]
+  in
+  (* Z tile = 16 x 16 = 256; m relevant (4 tiles) below the k split: each
+     k iteration revisits all 4 tiles -> writes 4 x 4 x 256; reads back
+     (writes - distinct) = (16 - 4) x 256. *)
+  Alcotest.(check (float 0.)) "spilled writes" (16. *. 256.)
+    (Loopnest.writes inverted ~into:Loopnest.Buffer);
+  let total = Loopnest.dram_traffic inverted in
+  let a_reads = Loopnest.reads inverted ~tensor:a_ref ~into:Loopnest.Buffer in
+  let b_reads = Loopnest.reads inverted ~tensor:b_ref ~into:Loopnest.Buffer in
+  Alcotest.(check (float 0.)) "rmw accounted" (a_reads +. b_reads +. (16. *. 256.) +. (12. *. 256.)) total
+
+let test_spatial_and_validate () =
+  let t = weight_stationary in
+  Alcotest.(check int) "spatial lanes" 16 (Loopnest.spatial_lanes t);
+  (match Loopnest.validate Tf_arch.Presets.cloud t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "expected valid: %s" e);
+  let tiny =
+    Tf_arch.Arch.v ~name:"tiny" ~pe_2d:(Tf_arch.Pe_array.two_d 2 2)
+      ~pe_1d:(Tf_arch.Pe_array.one_d 2) ~buffer_bytes:64 ~dram_bw_bytes_per_s:1. ()
+  in
+  match Loopnest.validate tiny t with
+  | Ok () -> Alcotest.fail "expected rejection"
+  | Error _ -> ()
+
+(* Cross-check: the blocked-matmul recipe the strategies use (weight
+   slices resident, input re-streamed per slice) matches the loop-nest
+   analysis of the corresponding mapping. *)
+let test_crosscheck_with_strategy_recipe () =
+  let m = 4096 and k = 64 and n = 64 in
+  let slices = 4 in
+  let t =
+    Loopnest.v
+      ~extents:(Extents.of_list [ ("m", m); ("k", k); ("n", n) ])
+      matmul
+      [
+        loop "n" slices Loopnest.Dram;
+        loop "m" m Loopnest.Dram;
+        (* the buffer holds one weight slice and one input row at a time *)
+        loop "k" k Loopnest.Buffer;
+        loop "n" (n / slices) Loopnest.Buffer;
+      ]
+  in
+  let weight = float_of_int (k * n) in
+  let input = float_of_int (m * k) in
+  let expected_reads = weight +. (float_of_int slices *. input) in
+  let reads =
+    Loopnest.reads t ~tensor:a_ref ~into:Loopnest.Buffer
+    +. Loopnest.reads t ~tensor:b_ref ~into:Loopnest.Buffer
+  in
+  Alcotest.(check (float 0.)) "weight-resident recipe" expected_reads reads
+
+let prop_reads_at_least_once =
+  QCheck.Test.make ~name:"every input is read at least once in full" ~count:100
+    QCheck.(quad (int_range 1 8) (int_range 1 8) (int_range 1 8) (int_range 1 8))
+    (fun (md, mb, kb, nb) ->
+      let t =
+        Loopnest.v matmul
+          [
+            loop "m" md Loopnest.Dram;
+            loop "m" mb Loopnest.Buffer;
+            loop "k" kb Loopnest.Buffer;
+            loop "n" nb Loopnest.Buffer;
+          ]
+      in
+      Loopnest.reads t ~tensor:a_ref ~into:Loopnest.Buffer >= float_of_int (md * mb * kb)
+      && Loopnest.reads t ~tensor:b_ref ~into:Loopnest.Buffer >= float_of_int (kb * nb))
+
+let prop_refetch_monotone =
+  QCheck.Test.make ~name:"adding an outer relevant loop multiplies traffic" ~count:100
+    QCheck.(pair (int_range 2 8) (int_range 1 8))
+    (fun (outer, inner) ->
+      let base =
+        Loopnest.v matmul
+          [ loop "m" inner Loopnest.Buffer; loop "k" 4 Loopnest.Buffer; loop "n" 4 Loopnest.Buffer ]
+      in
+      let extended =
+        Loopnest.v matmul
+          [
+            loop "m" outer Loopnest.Dram;
+            loop "m" inner Loopnest.Buffer;
+            loop "k" 4 Loopnest.Buffer;
+            loop "n" 4 Loopnest.Buffer;
+          ]
+      in
+      Loopnest.reads extended ~tensor:a_ref ~into:Loopnest.Buffer
+      = float_of_int outer *. Loopnest.reads base ~tensor:a_ref ~into:Loopnest.Buffer)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "tf_loopnest"
+    [
+      ( "loopnest",
+        [
+          quick "validation" test_validation;
+          quick "footprints and occupancy" test_footprints;
+          quick "weight-stationary traffic" test_weight_stationary_traffic;
+          quick "streaming-weights traffic" test_streaming_weights_traffic;
+          quick "reduction spill" test_reduction_spill;
+          quick "spatial lanes and validate" test_spatial_and_validate;
+          quick "cross-check with strategy recipe" test_crosscheck_with_strategy_recipe;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_reads_at_least_once; prop_refetch_monotone ] );
+    ]

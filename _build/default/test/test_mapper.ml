@@ -1,0 +1,128 @@
+(* Tests for the exhaustive single-Einsum mapper. *)
+
+module Mapper = Tf_costmodel.Mapper
+module Loopnest = Tf_costmodel.Loopnest
+open Tf_einsum
+
+let r = Tensor_ref.v
+let matmul = Einsum.contraction (r "Z" [ "m"; "n" ]) [ r "A" [ "m"; "k" ]; r "B" [ "k"; "n" ] ]
+
+let arch ~buffer_elements =
+  Tf_arch.Arch.v ~name:"mapper-test" ~element_bytes:2
+    ~pe_2d:(Tf_arch.Pe_array.two_d 16 16) ~pe_1d:(Tf_arch.Pe_array.one_d 16)
+    ~buffer_bytes:(2 * buffer_elements) ~dram_bw_bytes_per_s:1e9 ()
+
+let extents ~m ~k ~n = Extents.of_list [ ("m", m); ("k", k); ("n", n) ]
+
+let test_lower_bound () =
+  let e = extents ~m:8 ~k:4 ~n:2 in
+  (* |A| + |B| + |Z| = 32 + 8 + 16. *)
+  Alcotest.(check (float 0.)) "compulsory traffic" 56. (Mapper.traffic_lower_bound e matmul)
+
+let test_everything_fits () =
+  (* With a buffer holding all operands, the optimum is the lower bound. *)
+  let e = extents ~m:8 ~k:4 ~n:2 in
+  match Mapper.search (arch ~buffer_elements:1024) e matmul with
+  | Ok (nest, traffic, stats) ->
+      Alcotest.(check (float 0.)) "optimal traffic" (Mapper.traffic_lower_bound e matmul) traffic;
+      Alcotest.(check bool) "feasible candidates exist" true (stats.Mapper.feasible > 0);
+      Alcotest.(check bool) "valid" true (Loopnest.validate (arch ~buffer_elements:1024) nest = Ok ())
+  | Error e -> Alcotest.failf "search failed: %s" e
+
+let test_constrained_buffer () =
+  (* 64x64x64 matmul with a buffer of 2048 elements: the optimum must
+     exceed the 12288-element lower bound but stay within a small factor
+     (blocked matmul). *)
+  let e = extents ~m:64 ~k:64 ~n:64 in
+  let lower = Mapper.traffic_lower_bound e matmul in
+  match Mapper.search (arch ~buffer_elements:2048) e matmul with
+  | Ok (nest, traffic, _) ->
+      Alcotest.(check bool) "above lower bound" true (traffic >= lower);
+      Alcotest.(check bool) "within 8x of compulsory" true (traffic <= 8. *. lower);
+      Alcotest.(check bool) "occupancy within budget" true
+        (Loopnest.buffer_occupancy nest <= 2048.)
+  | Error e -> Alcotest.failf "search failed: %s" e
+
+let test_infeasible () =
+  let e = extents ~m:64 ~k:64 ~n:64 in
+  (* A buffer smaller than any single-element tile set cannot host any
+     mapping: minimum occupancy is 3 elements. *)
+  match Mapper.search (arch ~buffer_elements:1) e matmul with
+  | Ok _ -> Alcotest.fail "expected infeasible"
+  | Error _ -> ()
+
+let test_enumeration_determinism () =
+  let e = extents ~m:16 ~k:8 ~n:4 in
+  let a = Mapper.enumerate e matmul and b = Mapper.enumerate e matmul in
+  Alcotest.(check int) "same count" (List.length a) (List.length b);
+  Alcotest.(check bool) "non-empty" true (a <> []);
+  let cap = Mapper.enumerate ~max_candidates:10 e matmul in
+  Alcotest.(check int) "cap respected" 10 (List.length cap)
+
+let test_candidates_cover_dimensions () =
+  let e = extents ~m:4 ~k:2 ~n:2 in
+  List.iter
+    (fun nest ->
+      List.iter
+        (fun index ->
+          let covered =
+            List.fold_left
+              (fun acc (l : Loopnest.loop) -> if l.Loopnest.index = index then acc * l.Loopnest.extent else acc)
+              1 (Loopnest.loops nest)
+          in
+          Alcotest.(check int) ("coverage of " ^ index) (Extents.find e index) covered)
+        [ "m"; "k"; "n" ])
+    (Mapper.enumerate e matmul)
+
+(* Cross-check: the strategies' closed-form matmul recipe is within the
+   mapper's optimum and the naive worst case. *)
+let test_against_closed_form () =
+  let m = 256 and k = 64 and n = 64 in
+  let e = extents ~m ~k ~n in
+  let buffer_elements = 4096 in
+  match Mapper.search (arch ~buffer_elements) e matmul with
+  | Ok (_, optimal, _) ->
+      let lower = Mapper.traffic_lower_bound e matmul in
+      Alcotest.(check bool) "mapper sits between bounds" true
+        (optimal >= lower && optimal <= 4. *. lower)
+  | Error e -> Alcotest.failf "search failed: %s" e
+
+let prop_search_never_beats_lower_bound =
+  QCheck.Test.make ~name:"mapper optimum respects the compulsory bound" ~count:40
+    QCheck.(triple (int_range 1 32) (int_range 1 32) (int_range 1 32))
+    (fun (m, k, n) ->
+      let e = extents ~m ~k ~n in
+      match Mapper.search (arch ~buffer_elements:512) e matmul with
+      | Ok (_, traffic, _) -> traffic >= Mapper.traffic_lower_bound e matmul -. 1e-9
+      | Error _ -> true)
+
+let prop_bigger_buffer_never_worse =
+  QCheck.Test.make ~name:"a bigger buffer never increases optimal traffic" ~count:25
+    QCheck.(pair (int_range 4 32) (int_range 4 32))
+    (fun (m, n) ->
+      let e = extents ~m ~k:16 ~n in
+      let best cap =
+        match Mapper.search (arch ~buffer_elements:cap) e matmul with
+        | Ok (_, t, _) -> t
+        | Error _ -> infinity
+      in
+      best 4096 <= best 256 +. 1e-9)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "tf_mapper"
+    [
+      ( "mapper",
+        [
+          quick "lower bound" test_lower_bound;
+          quick "all-resident optimum" test_everything_fits;
+          quick "constrained buffer" test_constrained_buffer;
+          quick "infeasible" test_infeasible;
+          quick "deterministic enumeration" test_enumeration_determinism;
+          quick "dimension coverage" test_candidates_cover_dimensions;
+          quick "against closed form" test_against_closed_form;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_search_never_beats_lower_bound; prop_bigger_buffer_never_worse ] );
+    ]

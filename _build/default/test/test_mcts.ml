@@ -1,0 +1,111 @@
+(* Tests for the generic MCTS used by TileSeek: determinism, convergence
+   on known landscapes, and bookkeeping. *)
+
+module Mcts = Transfusion.Mcts
+
+(* A two-level landscape: choose a in 0..4, then b in 0..4; reward peaks
+   uniquely at (3, 1). *)
+let two_level =
+  {
+    Mcts.actions =
+      (fun path -> match List.length path with 0 | 1 -> [ 0; 1; 2; 3; 4 ] | _ -> []);
+    reward =
+      (fun path ->
+        match path with
+        | [ a; b ] -> 1. /. (1. +. float_of_int (abs (a - 3) + abs (b - 1)))
+        | _ -> 0.);
+  }
+
+let test_finds_optimum () =
+  let rng = Random.State.make [| 0 |] in
+  let best, stats = Mcts.search ~rng ~iterations:300 two_level in
+  (match best with
+  | Some (path, reward) ->
+      Alcotest.(check (list int)) "optimal path" [ 3; 1 ] path;
+      Alcotest.(check (float 1e-12)) "optimal reward" 1. reward
+  | None -> Alcotest.fail "no terminal found");
+  Alcotest.(check int) "iterations recorded" 300 stats.Mcts.iterations;
+  Alcotest.(check bool) "terminals evaluated" true (stats.Mcts.terminals_evaluated > 0);
+  Alcotest.(check (float 1e-12)) "best reward recorded" 1. stats.Mcts.best_reward
+
+let test_deterministic () =
+  let run seed =
+    let rng = Random.State.make [| seed |] in
+    fst (Mcts.search ~rng ~iterations:50 two_level)
+  in
+  Alcotest.(check bool) "same seed, same result" true (run 7 = run 7)
+
+let test_single_level () =
+  let problem =
+    {
+      Mcts.actions = (fun path -> if path = [] then [ 10; 20; 30 ] else []);
+      reward = (fun path -> match path with [ x ] -> float_of_int x | _ -> 0.);
+    }
+  in
+  let rng = Random.State.make [| 1 |] in
+  let best, _ = Mcts.search ~rng ~iterations:20 problem in
+  match best with
+  | Some (path, reward) ->
+      Alcotest.(check (list int)) "picks max" [ 30 ] path;
+      Alcotest.(check (float 0.)) "reward" 30. reward
+  | None -> Alcotest.fail "no terminal"
+
+let test_tree_growth () =
+  let rng = Random.State.make [| 3 |] in
+  let _, stats = Mcts.search ~rng ~iterations:100 two_level in
+  (* Root + at most one expansion per iteration. *)
+  Alcotest.(check bool) "tree bounded by iterations" true (stats.Mcts.tree_nodes <= 101);
+  Alcotest.(check bool) "tree grew" true (stats.Mcts.tree_nodes > 5)
+
+let test_deep_landscape () =
+  (* Four binary decisions; reward counts ones: optimum [1;1;1;1]. *)
+  let problem =
+    {
+      Mcts.actions = (fun path -> if List.length path < 4 then [ 0; 1 ] else []);
+      reward = (fun path -> float_of_int (List.fold_left ( + ) 0 path));
+    }
+  in
+  let rng = Random.State.make [| 9 |] in
+  let best, _ = Mcts.search ~rng ~iterations:200 problem in
+  match best with
+  | Some (path, reward) ->
+      Alcotest.(check (list int)) "all ones" [ 1; 1; 1; 1 ] path;
+      Alcotest.(check (float 0.)) "reward 4" 4. reward
+  | None -> Alcotest.fail "no terminal"
+
+let prop_best_is_max_seen =
+  QCheck.Test.make ~name:"reported best reward is the max over evaluations" ~count:30
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let seen = ref [] in
+      let problem =
+        {
+          Mcts.actions = (fun path -> if List.length path < 2 then [ 0; 1; 2 ] else []);
+          reward =
+            (fun path ->
+              let r = float_of_int (Hashtbl.hash (seed :: path) mod 1000) in
+              seen := r :: !seen;
+              r);
+        }
+      in
+      let rng = Random.State.make [| seed |] in
+      let best, stats = Mcts.search ~rng ~iterations:40 problem in
+      match best with
+      | Some (_, reward) ->
+          reward = stats.Mcts.best_reward && List.for_all (fun r -> r <= reward) !seen
+      | None -> false)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "transfusion_mcts"
+    [
+      ( "mcts",
+        [
+          quick "finds the optimum" test_finds_optimum;
+          quick "deterministic per seed" test_deterministic;
+          quick "single-level" test_single_level;
+          quick "tree growth bounded" test_tree_growth;
+          quick "deeper landscape" test_deep_landscape;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_best_is_max_seen ]);
+    ]

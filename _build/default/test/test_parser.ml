@@ -1,0 +1,168 @@
+(* Tests for the Einsum textual notation: parsing, error reporting, and
+   round-trips of the paper's four cascades. *)
+
+open Tf_einsum
+
+let op_testable = Alcotest.testable (Fmt.of_to_string Parser.op_to_string) ( = )
+
+let test_parse_contract () =
+  match Parser.op_of_string "Z[m,n] = contract(A[m,k], B[k,n])" with
+  | Ok op ->
+      Alcotest.(check string) "name" "Z" op.Einsum.name;
+      Alcotest.(check bool) "kind" true (op.Einsum.kind = Einsum.Contraction);
+      Alcotest.(check (list string)) "reduction" [ "k" ] (Einsum.reduction_dims op)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_parse_map_and_reduce () =
+  (match Parser.op_of_string "SLN[h,m0,p] = map:exp_diff(BQK[h,m0,p], RM[h,p])" with
+  | Ok op -> Alcotest.(check bool) "map kind" true (op.Einsum.kind = Einsum.Map Scalar_op.Exp_diff)
+  | Error e -> Alcotest.failf "map parse failed: %s" e);
+  (match Parser.op_of_string "LM[h,p] = reduce:max(BQK[h,m0,p])" with
+  | Ok op ->
+      Alcotest.(check bool) "reduce kind" true (op.Einsum.kind = Einsum.Reduce Scalar_op.Max_reduce)
+  | Error e -> Alcotest.failf "reduce parse failed: %s" e);
+  match Parser.op_of_string "G = reduce:max(I[m])" with
+  | Ok op -> Alcotest.(check int) "scalar output" 0 (Tensor_ref.rank op.Einsum.output)
+  | Error e -> Alcotest.failf "scalar parse failed: %s" e
+
+let test_parse_activation () =
+  match Parser.op_of_string "AR[s,p] = map:gelu(FFN1B[s,p])" with
+  | Ok op ->
+      Alcotest.(check bool) "gelu" true
+        (op.Einsum.kind = Einsum.Map (Scalar_op.Activation Scalar_op.Gelu))
+  | Error e -> Alcotest.failf "activation parse failed: %s" e
+
+let test_parse_errors () =
+  let fails s = Alcotest.(check bool) s true (Result.is_error (Parser.op_of_string s)) in
+  fails "no equals here";
+  fails "Z[m] = frobnicate(A[m])";
+  fails "Z[m] = map:unknown_op(A[m])";
+  fails "Z[m] = reduce:median(A[m,k])";
+  fails "Z[m] = contract(A[m,k]";
+  fails "Z[m,m] = contract(A[m,k], B[k,m])";
+  (* semantic validation still applies *)
+  fails "Z[m] = map:add(A[m])";
+  fails "Z[q] = contract(A[m], B[m])"
+
+let test_op_roundtrip () =
+  let samples =
+    [
+      "Z[m,n] = contract(A[m,k], B[k,n])";
+      "SLN[h,m0,p] = map:exp_diff(BQK[h,m0,p], RM[h,p])";
+      "G = reduce:max(I[m])";
+      "AV[h,f,p] = map:div(RNV[h,f,p], RD[h,p])";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Parser.op_of_string s with
+      | Ok op -> Alcotest.(check string) "print . parse = id" s (Parser.op_to_string op)
+      | Error e -> Alcotest.failf "roundtrip parse failed on %S: %s" s e)
+    samples
+
+let test_cascade_parse () =
+  let text =
+    {|cascade softmax:
+# the extended-einsum softmax (paper Eq. 6-8)
+G = reduce:max(I[m])
+S[m] = map:exp_diff(I[m], G)
+
+D = reduce:sum(S[m])
+A[m] = map:div(S[m], D)
+|}
+  in
+  match Parser.cascade_of_string text with
+  | Ok c ->
+      Alcotest.(check string) "name from header" "softmax" (Cascade.name c);
+      Alcotest.(check int) "four ops" 4 (Cascade.length c);
+      Alcotest.(check (list string)) "externals" [ "I" ] (Cascade.external_inputs c)
+  | Error e -> Alcotest.failf "cascade parse failed: %s" e
+
+let test_cascade_errors () =
+  Alcotest.(check bool) "empty" true (Result.is_error (Parser.cascade_of_string "\n# nothing\n"));
+  Alcotest.(check bool) "use before def" true
+    (Result.is_error
+       (Parser.cascade_of_string "Y[m] = map:copy(Z[m])\nZ[m] = map:copy(A[m])"))
+
+let test_paper_cascades_roundtrip () =
+  List.iter
+    (fun cascade ->
+      let text = Parser.cascade_to_string cascade in
+      match Parser.cascade_of_string text with
+      | Ok parsed ->
+          Alcotest.(check string) "name" (Cascade.name cascade) (Cascade.name parsed);
+          List.iter2
+            (fun a b -> Alcotest.check op_testable "op" a b)
+            (Cascade.ops cascade) (Cascade.ops parsed)
+      | Error e -> Alcotest.failf "roundtrip of %s failed: %s" (Cascade.name cascade) e)
+    [
+      Transfusion.Cascades.qkv ();
+      Transfusion.Cascades.mha ();
+      Transfusion.Cascades.add_layernorm ();
+      Transfusion.Cascades.ffn Scalar_op.Silu;
+      Transfusion.Cascades.full_layer Scalar_op.Gelu;
+    ]
+
+let test_scalar_op_string_roundtrip () =
+  List.iter
+    (fun op ->
+      match Scalar_op.of_string (Scalar_op.to_string op) with
+      | Some op' -> Alcotest.(check bool) (Scalar_op.to_string op) true (op = op')
+      | None -> Alcotest.failf "of_string failed for %s" (Scalar_op.to_string op))
+    [
+      Scalar_op.Add;
+      Scalar_op.Exp_diff;
+      Scalar_op.Rsqrt;
+      Scalar_op.Activation Scalar_op.Silu;
+      Scalar_op.Activation Scalar_op.Relu;
+    ];
+  Alcotest.(check bool) "unknown scalar" true (Scalar_op.of_string "tanhish" = None);
+  Alcotest.(check bool) "reduce roundtrip" true
+    (Scalar_op.reduce_of_string "max" = Some Scalar_op.Max_reduce);
+  Alcotest.(check bool) "unknown reduce" true (Scalar_op.reduce_of_string "avg" = None)
+
+let prop_parsed_interpretable =
+  (* Any parsed cascade built from a random chain is interpretable and
+     agrees with interpreting the original. *)
+  QCheck.Test.make ~name:"parse of printed chain interprets identically" ~count:25
+    QCheck.(pair (int_range 1 6) (int_range 0 1000))
+    (fun (n, seed) ->
+      let ops =
+        List.init n (fun i ->
+            let src = if i = 0 then "X" else Printf.sprintf "T%d" (i - 1) in
+            (* copy avoids exp-chain overflow to infinity, which would
+               make |a - b| a NaN even for identical results *)
+            Einsum.map Scalar_op.Copy
+              (Tensor_ref.v (Printf.sprintf "T%d" i) [ "m" ])
+              [ Tensor_ref.v src [ "m" ] ])
+      in
+      let cascade = Cascade.v ops in
+      match Parser.cascade_of_string (Parser.cascade_to_string cascade) with
+      | Error _ -> false
+      | Ok parsed ->
+          let extents = Extents.of_list [ ("m", 4) ] in
+          let state = Random.State.make [| seed |] in
+          let x = Tf_tensor.Nd.random state [| 4 |] in
+          let run c = Tf_tensor.Cascade_interp.run_results extents c ~inputs:[ ("X", x) ] in
+          List.for_all2
+            (fun (na, va) (nb, vb) -> na = nb && Tf_tensor.Nd.max_abs_diff va vb = 0.)
+            (run cascade) (run parsed))
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "tf_einsum_parser"
+    [
+      ( "parser",
+        [
+          quick "contract" test_parse_contract;
+          quick "map and reduce" test_parse_map_and_reduce;
+          quick "activations" test_parse_activation;
+          quick "errors" test_parse_errors;
+          quick "op roundtrip" test_op_roundtrip;
+          quick "cascade with header/comments" test_cascade_parse;
+          quick "cascade errors" test_cascade_errors;
+          quick "paper cascades roundtrip" test_paper_cascades_roundtrip;
+          quick "scalar-op strings" test_scalar_op_string_roundtrip;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_parsed_interpretable ]);
+    ]

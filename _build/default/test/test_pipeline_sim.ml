@@ -1,0 +1,125 @@
+(* Tests for the discrete-event replay of DPipe schedules: the simulated
+   makespan must reproduce the analytic one, busy time must match the
+   assigned loads, and corrupted schedules must deadlock. *)
+
+module Dpipe = Transfusion.Dpipe
+module Sim = Transfusion.Pipeline_sim
+module Dag = Tf_dag.Dag
+open Tf_arch
+
+let arch =
+  Arch.v ~name:"sim" ~vector_eff_2d:0.5 ~matrix_eff_1d:0.5 ~pe_2d:(Pe_array.two_d 8 8)
+    ~pe_1d:(Pe_array.one_d 8) ~buffer_bytes:(1 lsl 20) ~dram_bw_bytes_per_s:1e9 ()
+
+let chain =
+  Dag.of_edges [ (0, "a"); (1, "b"); (2, "c") ] [ (0, 1); (1, 2) ]
+
+let load = function 0 -> 640. | 1 -> 80. | _ -> 320.
+let matrix = function 0 | 2 -> true | _ -> false
+
+let test_replay_matches_dp () =
+  let sched = Dpipe.schedule arch ~load ~matrix chain in
+  match Sim.replay arch ~load ~matrix chain sched with
+  | Ok outcome ->
+      Alcotest.(check bool) "makespans agree" true (Sim.agrees sched outcome);
+      Alcotest.(check int) "all instances" (3 * sched.Dpipe.epochs_unrolled) outcome.Sim.instances
+  | Error e -> Alcotest.failf "replay failed: %s" e
+
+let test_busy_accounting () =
+  let sched = Dpipe.schedule arch ~load ~matrix chain in
+  match Sim.replay arch ~load ~matrix chain sched with
+  | Ok outcome ->
+      (* Busy time of each array equals the sum of its instances'
+         latencies; both are bounded by the makespan. *)
+      Alcotest.(check bool) "2d busy <= makespan" true
+        (outcome.Sim.busy_2d_cycles <= outcome.Sim.makespan_cycles +. 1e-9);
+      Alcotest.(check bool) "1d busy <= makespan" true
+        (outcome.Sim.busy_1d_cycles <= outcome.Sim.makespan_cycles +. 1e-9);
+      Alcotest.(check bool) "some work happened" true
+        (outcome.Sim.busy_2d_cycles +. outcome.Sim.busy_1d_cycles > 0.)
+  | Error e -> Alcotest.failf "replay failed: %s" e
+
+let test_deadlock_detection () =
+  let sched = Dpipe.schedule arch ~load ~matrix chain in
+  (* Corrupt the schedule: force producer and consumer onto one resource
+     with the consumer issued first. *)
+  let corrupted =
+    {
+      sched with
+      Dpipe.assignments =
+        List.map
+          (fun (a : Dpipe.assignment) ->
+            let start_cycle =
+              (* invert issue order within each epoch *)
+              1e9 -. a.Dpipe.start_cycle
+            in
+            { a with Dpipe.resource = Arch.Pe_2d; start_cycle })
+          sched.Dpipe.assignments;
+    }
+  in
+  match Sim.replay arch ~load ~matrix chain corrupted with
+  | Ok _ -> Alcotest.fail "expected deadlock"
+  | Error _ -> ()
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let test_gantt () =
+  let sched = Dpipe.schedule arch ~load ~matrix chain in
+  let text = Sim.gantt ~width:40 ~label:(fun n -> Printf.sprintf "op%d" n) sched in
+  Alcotest.(check bool) "mentions both lanes" true
+    (contains text "2D array:" && contains text "1D array:");
+  Alcotest.(check bool) "draws spans" true (contains text "#")
+
+let prop_replay_agrees =
+  QCheck.Test.make ~name:"replay reproduces the DP makespan on random DAGs" ~count:60
+    QCheck.(pair (int_range 1 7) (int_range 0 10000))
+    (fun (n, seed) ->
+      let state = Random.State.make [| seed |] in
+      let edges =
+        List.concat_map
+          (fun i ->
+            List.filter_map
+              (fun j -> if j > i && Random.State.bool state then Some (i, j) else None)
+              (List.init n Fun.id))
+          (List.init n Fun.id)
+      in
+      let g = Dag.of_edges (List.init n (fun i -> (i, i))) edges in
+      let load i = 16. +. float_of_int ((i * 97) mod 512) in
+      let matrix i = i mod 2 = 0 in
+      let sched = Dpipe.schedule arch ~load ~matrix g in
+      match Sim.replay arch ~load ~matrix g sched with
+      | Ok outcome -> Sim.agrees sched outcome
+      | Error _ -> false)
+
+let prop_static_replay_agrees =
+  QCheck.Test.make ~name:"replay agrees for static schedules too" ~count:40
+    QCheck.(int_range 2 7)
+    (fun n ->
+      let g =
+        Dag.of_edges (List.init n (fun i -> (i, i))) (List.init (n - 1) (fun i -> (i, i + 1)))
+      in
+      let load i = 100. +. float_of_int (i * 31) in
+      let matrix i = i mod 2 = 0 in
+      let assign i = if matrix i then Arch.Pe_2d else Arch.Pe_1d in
+      let sched = Dpipe.schedule ~mode:(`Static assign) arch ~load ~matrix g in
+      match Sim.replay arch ~load ~matrix g sched with
+      | Ok outcome -> Sim.agrees sched outcome
+      | Error _ -> false)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "transfusion_pipeline_sim"
+    [
+      ( "replay",
+        [
+          quick "matches the DP" test_replay_matches_dp;
+          quick "busy accounting" test_busy_accounting;
+          quick "deadlock detection" test_deadlock_detection;
+          quick "gantt rendering" test_gantt;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_replay_agrees; prop_static_replay_agrees ] );
+    ]

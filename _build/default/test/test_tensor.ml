@@ -1,0 +1,390 @@
+(* Tests for the numeric substrate: Nd arrays, reference ops, the two
+   attention dataflows, the fused-tiled transformer layer and the cascade
+   interpreter. *)
+
+module Nd = Tf_tensor.Nd
+module Ops = Tf_tensor.Ops
+module Attention = Tf_tensor.Attention
+module Transformer = Tf_tensor.Transformer
+module Interp = Tf_tensor.Cascade_interp
+open Tf_einsum
+
+let rng () = Random.State.make [| 1234 |]
+
+(* Nd ----------------------------------------------------------------- *)
+
+let test_nd_basics () =
+  let t = Nd.create [| 2; 3 |] 1.5 in
+  Alcotest.(check int) "numel" 6 (Nd.numel t);
+  Alcotest.(check int) "rank" 2 (Nd.rank t);
+  Alcotest.(check (float 0.)) "fill value" 1.5 (Nd.get t [| 1; 2 |]);
+  Nd.set t [| 0; 1 |] 9.;
+  Alcotest.(check (float 0.)) "set/get" 9. (Nd.get t [| 0; 1 |]);
+  let s = Nd.scalar 4. in
+  Alcotest.(check int) "scalar rank" 0 (Nd.rank s);
+  Alcotest.(check (float 0.)) "scalar value" 4. (Nd.get s [||])
+
+let test_nd_bounds () =
+  let t = Nd.create [| 2; 2 |] 0. in
+  let raises label f =
+    Alcotest.(check bool) label true (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  raises "rank mismatch" (fun () -> Nd.get t [| 0 |]);
+  raises "out of bounds" (fun () -> Nd.get t [| 0; 5 |]);
+  raises "negative" (fun () -> Nd.get t [| -1; 0 |])
+
+let test_nd_init_order () =
+  let t = Nd.init [| 2; 3 |] (fun idx -> float_of_int ((idx.(0) * 3) + idx.(1))) in
+  Alcotest.(check (list (float 0.))) "row-major" [ 0.; 1.; 2.; 3.; 4.; 5. ] (Nd.to_list t)
+
+let test_nd_iter_indices () =
+  let count = ref 0 and last = ref [||] in
+  Nd.iter_indices [| 2; 2; 2 |] (fun idx ->
+      incr count;
+      last := Array.copy idx);
+  Alcotest.(check int) "visits all" 8 !count;
+  Alcotest.(check (array int)) "last index" [| 1; 1; 1 |] !last;
+  let none = ref 0 in
+  Nd.iter_indices [| 2; 0 |] (fun _ -> incr none);
+  Alcotest.(check int) "empty volume" 0 !none
+
+let test_nd_of_list () =
+  let t = Nd.of_list [| 2; 2 |] [ 1.; 2.; 3.; 4. ] in
+  Alcotest.(check (float 0.)) "corner" 4. (Nd.get t [| 1; 1 |]);
+  Alcotest.check_raises "length mismatch" (Invalid_argument "Nd.of_list: wrong element count")
+    (fun () -> ignore (Nd.of_list [| 2 |] [ 1.; 2.; 3. ]))
+
+let test_nd_maps () =
+  let a = Nd.of_list [| 2 |] [ 1.; 2. ] and b = Nd.of_list [| 2 |] [ 10.; 20. ] in
+  Alcotest.(check (list (float 0.))) "map" [ 2.; 4. ] (Nd.to_list (Nd.map (fun x -> 2. *. x) a));
+  Alcotest.(check (list (float 0.))) "map2" [ 11.; 22. ] (Nd.to_list (Nd.map2 ( +. ) a b));
+  Alcotest.(check (float 0.)) "fold" 3. (Nd.fold ( +. ) 0. a);
+  Alcotest.check_raises "shape mismatch" (Invalid_argument "Nd.map2: shape mismatch") (fun () ->
+      ignore (Nd.map2 ( +. ) a (Nd.create [| 3 |] 0.)))
+
+let test_nd_compare () =
+  let a = Nd.of_list [| 2 |] [ 1.; 2. ] in
+  let b = Nd.of_list [| 2 |] [ 1.; 2.0000001 ] in
+  Alcotest.(check bool) "approx equal" true (Nd.equal_approx ~tol:1e-6 a b);
+  Alcotest.(check bool) "not equal strict" false (Nd.equal_approx ~tol:1e-9 a b);
+  Alcotest.(check (float 1e-9)) "max abs diff" 1e-7 (Nd.max_abs_diff a b)
+
+(* Ops ---------------------------------------------------------------- *)
+
+let test_matmul () =
+  let a = Nd.of_list [| 2; 2 |] [ 1.; 2.; 3.; 4. ] in
+  let b = Nd.of_list [| 2; 2 |] [ 5.; 6.; 7.; 8. ] in
+  Alcotest.(check (list (float 1e-12))) "known product" [ 19.; 22.; 43.; 50. ]
+    (Nd.to_list (Ops.matmul a b));
+  let id = Nd.init [| 2; 2 |] (fun i -> if i.(0) = i.(1) then 1. else 0.) in
+  Alcotest.(check bool) "identity" true (Nd.equal_approx a (Ops.matmul a id));
+  Alcotest.check_raises "dim mismatch" (Invalid_argument "Ops.matmul: inner dims 2 vs 3") (fun () ->
+      ignore (Ops.matmul a (Nd.create [| 3; 2 |] 0.)))
+
+let test_transpose () =
+  let a = Nd.of_list [| 2; 3 |] [ 1.; 2.; 3.; 4.; 5.; 6. ] in
+  Alcotest.(check (list (float 0.))) "transpose" [ 1.; 4.; 2.; 5.; 3.; 6. ]
+    (Nd.to_list (Ops.transpose a))
+
+let test_softmax () =
+  let m = Nd.of_list [| 1; 3 |] [ 0.; 0.; 0. ] in
+  let s = Ops.softmax_rows m in
+  Alcotest.(check (float 1e-12)) "uniform" (1. /. 3.) (Nd.get s [| 0; 0 |]);
+  let big = Nd.of_list [| 1; 2 |] [ 1000.; 0. ] in
+  let sb = Ops.softmax_rows big in
+  Alcotest.(check bool) "numerically stable" true (Float.is_finite (Nd.get sb [| 0; 0 |]));
+  Alcotest.(check (float 1e-12)) "winner takes all" 1. (Nd.get sb [| 0; 0 |]);
+  let random = Nd.random (rng ()) [| 4; 7 |] in
+  let rows = Ops.softmax_rows random in
+  for i = 0 to 3 do
+    let total = ref 0. in
+    for j = 0 to 6 do
+      total := !total +. Nd.get rows [| i; j |]
+    done;
+    Alcotest.(check (float 1e-9)) "rows sum to one" 1. !total
+  done
+
+let test_layernorm () =
+  let m = Nd.random (rng ()) [| 5; 16 |] in
+  let n = Ops.layernorm_rows m in
+  let mu = Ops.mean_rows n and var = Ops.variance_rows n in
+  for i = 0 to 4 do
+    Alcotest.(check (float 1e-9)) "zero mean" 0. (Nd.get mu [| i |]);
+    Alcotest.(check (float 1e-6)) "unit variance" 1. (Nd.get var [| i |])
+  done
+
+let test_mean_variance () =
+  let m = Nd.of_list [| 1; 4 |] [ 1.; 2.; 3.; 4. ] in
+  Alcotest.(check (float 1e-12)) "mean" 2.5 (Nd.get (Ops.mean_rows m) [| 0 |]);
+  Alcotest.(check (float 1e-12)) "population variance" 1.25 (Nd.get (Ops.variance_rows m) [| 0 |])
+
+let test_bias_and_activation () =
+  let m = Nd.of_list [| 2; 2 |] [ 1.; -2.; 3.; -4. ] in
+  let bias = Nd.of_list [| 2 |] [ 10.; 20. ] in
+  Alcotest.(check (list (float 0.))) "bias" [ 11.; 18.; 13.; 16. ]
+    (Nd.to_list (Ops.add_row_bias m bias));
+  Alcotest.(check (list (float 0.))) "relu" [ 1.; 0.; 3.; 0. ]
+    (Nd.to_list (Ops.activation Scalar_op.Relu m))
+
+(* Attention ----------------------------------------------------------- *)
+
+let attention_case ~p ~m ~e ~f ~m0 seed =
+  let state = Random.State.make [| seed |] in
+  let q = Nd.random state [| p; e |] in
+  let k = Nd.random state [| m; e |] in
+  let v = Nd.random state [| m; f |] in
+  let reference = Attention.reference ~q ~k ~v () in
+  let streaming = Attention.streaming_one_pass ~m0 ~q ~k ~v () in
+  Alcotest.(check bool)
+    (Printf.sprintf "streaming == reference (p=%d m=%d m0=%d)" p m m0)
+    true
+    (Nd.max_abs_diff reference streaming < 1e-10)
+
+let test_attention_agreement () =
+  attention_case ~p:4 ~m:8 ~e:5 ~f:6 ~m0:2 1;
+  attention_case ~p:1 ~m:16 ~e:8 ~f:8 ~m0:16 2;
+  attention_case ~p:7 ~m:12 ~e:3 ~f:4 ~m0:3 3;
+  attention_case ~p:2 ~m:6 ~e:2 ~f:2 ~m0:1 4
+
+let test_attention_scale () =
+  let state = rng () in
+  let q = Nd.random state [| 3; 4 |] and k = Nd.random state [| 5; 4 |] in
+  let v = Nd.random state [| 5; 2 |] in
+  let scale = 1. /. sqrt 4. in
+  let a = Attention.reference ~scale ~q ~k ~v () in
+  let b = Attention.streaming_one_pass ~scale ~m0:5 ~q ~k ~v () in
+  Alcotest.(check bool) "scaled agreement" true (Nd.max_abs_diff a b < 1e-10)
+
+let test_attention_errors () =
+  let state = rng () in
+  let q = Nd.random state [| 3; 4 |] and k = Nd.random state [| 6; 4 |] in
+  let v = Nd.random state [| 6; 2 |] in
+  let raises label f =
+    Alcotest.(check bool) label true (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  raises "m0 must divide" (fun () -> Attention.streaming_one_pass ~m0:4 ~q ~k ~v ());
+  raises "shape mismatch" (fun () ->
+      Attention.reference ~q ~k:(Nd.random state [| 6; 3 |]) ~v ())
+
+let test_causal_attention () =
+  let state = rng () in
+  let p = 8 in
+  let q = Nd.random state [| p; 4 |] and k = Nd.random state [| p; 4 |] in
+  let v = Nd.random state [| p; 3 |] in
+  let reference = Attention.reference ~causal:true ~q ~k ~v () in
+  List.iter
+    (fun m0 ->
+      let streaming = Attention.streaming_one_pass ~causal:true ~m0 ~q ~k ~v () in
+      Alcotest.(check bool)
+        (Printf.sprintf "causal streaming == causal reference (m0=%d)" m0)
+        true
+        (Nd.max_abs_diff reference streaming < 1e-10))
+    [ 1; 2; 4; 8 ];
+  (* The first token attends only to itself: output row 0 equals v row 0. *)
+  let first_out = Nd.init [| 3 |] (fun i -> Nd.get reference [| 0; i.(0) |]) in
+  let first_v = Nd.init [| 3 |] (fun i -> Nd.get v [| 0; i.(0) |]) in
+  Alcotest.(check bool) "first token sees only itself" true
+    (Nd.max_abs_diff first_out first_v < 1e-12);
+  (* Causal needs square attention. *)
+  Alcotest.(check bool) "causal requires M = P" true
+    (try
+       ignore (Attention.reference ~causal:true ~q ~k:(Nd.random state [| 12; 4 |])
+                 ~v:(Nd.random state [| 12; 3 |]) ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_decoder_layer () =
+  let state = rng () in
+  let d_model = 16 and heads = 2 and ffn_hidden = 24 in
+  let w = Transformer.random_weights state ~d_model ~ffn_hidden in
+  let x = Nd.random state [| 8; d_model |] in
+  let encoder = Nd.random state [| 12; d_model |] in
+  let reference =
+    Transformer.reference_decoder ~heads ~activation:Scalar_op.Gelu w ~encoder x
+  in
+  let fused =
+    Transformer.fused_tiled_decoder ~heads ~activation:Scalar_op.Gelu ~tile_p:4 ~tile_m0:4
+      ~tile_s:8 w ~encoder x
+  in
+  Alcotest.(check bool) "fused decoder == reference decoder" true
+    (Nd.max_abs_diff reference fused < 1e-9);
+  Alcotest.(check (array int)) "decoder output shape" [| 8; d_model |] (Nd.shape fused)
+
+let prop_causal_attention =
+  QCheck.Test.make ~name:"causal streaming == causal reference" ~count:40
+    QCheck.(pair (int_range 1 4) (int_range 0 1000))
+    (fun (tiles, seed) ->
+      let m0 = 2 in
+      let p = tiles * m0 in
+      let state = Random.State.make [| seed; p |] in
+      let q = Nd.random state [| p; 3 |] and k = Nd.random state [| p; 3 |] in
+      let v = Nd.random state [| p; 2 |] in
+      let a = Attention.reference ~causal:true ~q ~k ~v () in
+      let b = Attention.streaming_one_pass ~causal:true ~m0 ~q ~k ~v () in
+      Nd.max_abs_diff a b < 1e-9)
+
+let prop_attention =
+  QCheck.Test.make ~name:"streaming 1-pass attention == reference" ~count:60
+    QCheck.(quad (int_range 1 6) (int_range 1 4) (int_range 1 5) (int_range 0 1000))
+    (fun (p, tiles, e, seed) ->
+      let m0 = 1 + (seed mod 3) in
+      let m = tiles * m0 in
+      let state = Random.State.make [| seed; p; m |] in
+      let q = Nd.random state [| p; e |] in
+      let k = Nd.random state [| m; e |] in
+      let v = Nd.random state [| m; e + 1 |] in
+      let a = Attention.reference ~q ~k ~v () in
+      let b = Attention.streaming_one_pass ~m0 ~q ~k ~v () in
+      Nd.max_abs_diff a b < 1e-9)
+
+(* Transformer layer ---------------------------------------------------- *)
+
+let test_fused_layer () =
+  let state = rng () in
+  let d_model = 24 and heads = 3 and ffn_hidden = 40 and p = 12 in
+  let w = Transformer.random_weights state ~d_model ~ffn_hidden in
+  let x = Nd.random state [| p; d_model |] in
+  let reference = Transformer.reference ~heads ~activation:Scalar_op.Gelu w x in
+  List.iter
+    (fun (tile_p, tile_m0, tile_s) ->
+      let fused =
+        Transformer.fused_tiled ~heads ~activation:Scalar_op.Gelu ~tile_p ~tile_m0 ~tile_s w x
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "tiles (%d,%d,%d)" tile_p tile_m0 tile_s)
+        true
+        (Nd.max_abs_diff reference fused < 1e-9))
+    [ (12, 12, 40); (4, 3, 8); (6, 2, 20); (1, 1, 1) ]
+
+let test_fused_layer_errors () =
+  let state = rng () in
+  let w = Transformer.random_weights state ~d_model:8 ~ffn_hidden:8 in
+  let x = Nd.random state [| 8; 8 |] in
+  Alcotest.(check bool) "bad tile rejected" true
+    (try
+       ignore (Transformer.fused_tiled ~heads:2 ~activation:Scalar_op.Relu ~tile_p:3 ~tile_m0:2 ~tile_s:4 w x);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_fused_layer =
+  QCheck.Test.make ~name:"fused-tiled layer == reference layer" ~count:25
+    QCheck.(pair (int_range 0 1000) (int_range 1 3))
+    (fun (seed, heads_pow) ->
+      let heads = 1 lsl heads_pow in
+      let e = 4 in
+      let d_model = heads * e in
+      let p = 8 and ffn_hidden = 12 in
+      let state = Random.State.make [| seed |] in
+      let w = Transformer.random_weights state ~d_model ~ffn_hidden in
+      let x = Nd.random state [| p; d_model |] in
+      let reference = Transformer.reference ~heads ~activation:Scalar_op.Silu w x in
+      let fused =
+        Transformer.fused_tiled ~heads ~activation:Scalar_op.Silu ~tile_p:4 ~tile_m0:2 ~tile_s:6 w x
+      in
+      Nd.max_abs_diff reference fused < 1e-9)
+
+(* Cascade interpreter --------------------------------------------------- *)
+
+let r = Tensor_ref.v
+
+let test_interp_matmul () =
+  let op = Einsum.contraction (r "Z" [ "m"; "n" ]) [ r "A" [ "m"; "k" ]; r "B" [ "k"; "n" ] ] in
+  let c = Cascade.v [ op ] in
+  let extents = Extents.of_list [ ("m", 3); ("k", 4); ("n", 2) ] in
+  let state = rng () in
+  let a = Nd.random state [| 3; 4 |] and b = Nd.random state [| 4; 2 |] in
+  let outputs = Interp.run extents c ~inputs:[ ("A", a); ("B", b) ] in
+  Alcotest.(check bool) "matches Ops.matmul" true
+    (Nd.max_abs_diff (List.assoc "Z" outputs) (Ops.matmul a b) < 1e-12)
+
+let test_interp_softmax () =
+  (* The extended-einsum softmax (paper Eq. 6-8, with the stable shift). *)
+  let c =
+    Cascade.v
+      [
+        Einsum.reduce Scalar_op.Max_reduce (Tensor_ref.scalar "G") (r "I" [ "m" ]);
+        Einsum.map Scalar_op.Exp_diff (r "S" [ "m" ]) [ r "I" [ "m" ]; Tensor_ref.scalar "G" ];
+        Einsum.reduce Scalar_op.Sum (Tensor_ref.scalar "D") (r "S" [ "m" ]);
+        Einsum.map Scalar_op.Div (r "A" [ "m" ]) [ r "S" [ "m" ]; Tensor_ref.scalar "D" ];
+      ]
+  in
+  let extents = Extents.of_list [ ("m", 6) ] in
+  let i = Nd.random (rng ()) ~lo:(-3.) ~hi:3. [| 6 |] in
+  let out = List.assoc "A" (Interp.run_results extents c ~inputs:[ ("I", i) ]) in
+  let expected = Ops.softmax_rows (Nd.init [| 1; 6 |] (fun idx -> Nd.get i [| idx.(1) |])) in
+  for j = 0 to 5 do
+    Alcotest.(check (float 1e-12)) "softmax element" (Nd.get expected [| 0; j |]) (Nd.get out [| j |])
+  done
+
+let test_interp_broadcast_reduce () =
+  let c =
+    Cascade.v
+      [
+        Einsum.reduce Scalar_op.Sum (r "S" [ "m" ]) (r "A" [ "m"; "k" ]);
+        Einsum.map Scalar_op.Mul (r "Z" [ "m"; "k" ]) [ r "A" [ "m"; "k" ]; r "S" [ "m" ] ];
+      ]
+  in
+  let extents = Extents.of_list [ ("m", 2); ("k", 3) ] in
+  let a = Nd.of_list [| 2; 3 |] [ 1.; 2.; 3.; 4.; 5.; 6. ] in
+  let z = List.assoc "Z" (Interp.run extents c ~inputs:[ ("A", a) ]) in
+  (* row sums 6 and 15, broadcast-multiplied back. *)
+  Alcotest.(check (list (float 1e-12))) "broadcast" [ 6.; 12.; 18.; 60.; 75.; 90. ] (Nd.to_list z)
+
+let test_interp_errors () =
+  let c = Cascade.v [ Einsum.map Scalar_op.Copy (r "Y" [ "m" ]) [ r "X" [ "m" ] ] ] in
+  let extents = Extents.of_list [ ("m", 2) ] in
+  let raises label f =
+    Alcotest.(check bool) label true (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  raises "missing input" (fun () -> Interp.run extents c ~inputs:[]);
+  raises "shape mismatch" (fun () ->
+      Interp.run extents c ~inputs:[ ("X", Nd.create [| 5 |] 0.) ]);
+  raises "unbound index" (fun () -> Interp.run Extents.empty c ~inputs:[ ("X", Nd.create [| 2 |] 0.) ])
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "tf_tensor"
+    [
+      ( "nd",
+        [
+          quick "basics" test_nd_basics;
+          quick "bounds" test_nd_bounds;
+          quick "init order" test_nd_init_order;
+          quick "iter_indices" test_nd_iter_indices;
+          quick "of_list" test_nd_of_list;
+          quick "maps and folds" test_nd_maps;
+          quick "comparison" test_nd_compare;
+        ] );
+      ( "ops",
+        [
+          quick "matmul" test_matmul;
+          quick "transpose" test_transpose;
+          quick "softmax" test_softmax;
+          quick "layernorm" test_layernorm;
+          quick "mean/variance" test_mean_variance;
+          quick "bias and activation" test_bias_and_activation;
+        ] );
+      ( "attention",
+        [
+          quick "streaming == reference" test_attention_agreement;
+          quick "scaled" test_attention_scale;
+          quick "causal (decoder)" test_causal_attention;
+          quick "errors" test_attention_errors;
+        ] );
+      ( "transformer",
+        [
+          quick "fused-tiled == reference" test_fused_layer;
+          quick "decoder layer" test_decoder_layer;
+          quick "tile validation" test_fused_layer_errors;
+        ] );
+      ( "interp",
+        [
+          quick "matmul" test_interp_matmul;
+          quick "softmax cascade" test_interp_softmax;
+          quick "broadcast and reduce" test_interp_broadcast_reduce;
+          quick "errors" test_interp_errors;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_attention; prop_causal_attention; prop_fused_layer ] );
+    ]
