@@ -1,0 +1,23 @@
+.PHONY: all build test lint check figures clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+lint: build
+	dune exec bin/transfusion_cli.exe -- lint
+
+# The gate CI runs: full build, test suite, and the static analyzer
+# over every built-in preset.
+check:
+	dune build @check-all
+
+figures:
+	dune exec bin/transfusion_cli.exe -- figures --quick
+
+clean:
+	dune clean

@@ -320,6 +320,20 @@ let selftest_cmd =
     (Cmd.info "selftest" ~doc:"Run the cross-cutting model invariant battery")
     Term.(const run $ full_arg)
 
+let lint_cmd =
+  let run full =
+    let diags = Tf_analysis.Verify.check_presets ~quick:(not full) () in
+    Fmt.pr "%a@." Tf_analysis.Diagnostic.pp_list diags;
+    if Tf_analysis.Diagnostic.has_errors diags then exit 1
+  in
+  let full_arg =
+    Arg.(value & flag & info [ "full" ] ~doc:"Lint every architecture and model preset.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically verify built-in cascades, tilings and DPipe schedules")
+    Term.(const run $ full_arg)
+
 let export_cmd =
   let run dir quick =
     let module E = Tf_experiments in
@@ -379,5 +393,6 @@ let () =
          cascade_cmd;
          pareto_cmd;
          selftest_cmd;
+         lint_cmd;
          export_cmd;
        ]))

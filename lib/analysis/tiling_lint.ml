@@ -1,0 +1,71 @@
+open Tf_arch
+open Tf_workloads
+module Buffer_req = Transfusion.Buffer_req
+module Tileseek = Transfusion.Tileseek
+
+let verify_dims ?(name = "tiling") (arch : Arch.t) (w : Workload.t) (d : Buffer_req.dims) =
+  let diags = ref [] in
+  let error ~code msg = diags := Diagnostic.error ~context:name ~code msg :: !diags in
+  let m = w.model in
+  let positive =
+    [
+      ("b", d.Buffer_req.b); ("d", d.Buffer_req.d); ("p", d.Buffer_req.p);
+      ("m1", d.Buffer_req.m1); ("m0", d.Buffer_req.m0); ("h", d.Buffer_req.h);
+      ("e", d.Buffer_req.e); ("f", d.Buffer_req.f); ("s", d.Buffer_req.s);
+      ("p_row", d.Buffer_req.p_row);
+    ]
+  in
+  List.iter
+    (fun (label, v) ->
+      if v < 1 then error ~code:"E-TILE-POSITIVE" (Printf.sprintf "%s = %d must be positive" label v))
+    positive;
+  if List.for_all (fun (_, v) -> v >= 1) positive then begin
+    let divides label tile total =
+      if tile > total || total mod tile <> 0 then
+        error ~code:"E-TILE-DIVIDE" (Printf.sprintf "%s = %d does not divide %d" label tile total)
+    in
+    divides "b" d.Buffer_req.b w.batch;
+    divides "d" d.Buffer_req.d m.Model.d_model;
+    divides "m1*m0" (d.Buffer_req.m1 * d.Buffer_req.m0) w.seq_len;
+    divides "s" d.Buffer_req.s m.Model.ffn_hidden;
+    if d.Buffer_req.p > w.seq_len then
+      error ~code:"E-TILE-DIVIDE"
+        (Printf.sprintf "p = %d exceeds the sequence length %d" d.Buffer_req.p w.seq_len);
+    if d.Buffer_req.h <> m.Model.heads then
+      error ~code:"E-TILE-MODEL"
+        (Printf.sprintf "h = %d but the model has %d heads" d.Buffer_req.h m.Model.heads);
+    if d.Buffer_req.e <> m.Model.head_dim || d.Buffer_req.f <> m.Model.head_dim then
+      error ~code:"E-TILE-MODEL"
+        (Printf.sprintf "e/f = %d/%d but the model's head dim is %d" d.Buffer_req.e d.Buffer_req.f
+           m.Model.head_dim);
+    let expected_p_row = Int.max 1 (d.Buffer_req.p / Pe_array.rows arch.Arch.pe_2d) in
+    if d.Buffer_req.p_row <> expected_p_row then
+      error ~code:"E-TILE-PROW"
+        (Printf.sprintf "p_row = %d, but p = %d over %d PE rows gives P' = %d" d.Buffer_req.p_row
+           d.Buffer_req.p
+           (Pe_array.rows arch.Arch.pe_2d)
+           expected_p_row);
+    let need = Buffer_req.worst d and cap = Arch.buffer_elements arch in
+    if not (Buffer_req.fits ~buffer_elements:cap d) then
+      error ~code:"E-TILE-BUFFER"
+        (Printf.sprintf "worst module needs %.0f elements, buffer holds %d (Table 2)" need cap)
+  end;
+  List.rev !diags
+
+let verify ?(name = "tiling") arch (w : Workload.t) (c : Tileseek.config) =
+  let m = w.model in
+  let dims =
+    {
+      Buffer_req.b = c.Tileseek.b;
+      d = c.Tileseek.d;
+      p = c.Tileseek.p;
+      m1 = c.Tileseek.m1;
+      m0 = c.Tileseek.m0;
+      h = m.Model.heads;
+      e = m.Model.head_dim;
+      f = m.Model.head_dim;
+      s = c.Tileseek.s;
+      p_row = (if c.Tileseek.p >= 1 then Tileseek.p_row arch c else 1);
+    }
+  in
+  verify_dims ~name arch w dims

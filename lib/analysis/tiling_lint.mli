@@ -1,0 +1,36 @@
+(** Lints for outer tilings (TileSeek configurations / Table 2 dims).
+
+    A tiling is implementable only when its factors divide the workload
+    dimensions they tile, the Table 2 buffer requirement fits the
+    architecture's on-chip buffer, and the per-PE-row sequence slice
+    [P'] matches the 2D-array geometry (paper Section 5.2).  TileSeek
+    enforces these during search; this pass re-checks any claimed tiling
+    after the fact.
+
+    Codes emitted:
+    - [E-TILE-POSITIVE] — a non-positive tile factor.
+    - [E-TILE-DIVIDE] — a factor that does not divide (or exceeds) the
+      dimension it tiles: [b | batch], [d | d_model], [m1*m0 | seq_len],
+      [s | ffn_hidden], [p <= seq_len] (query tiles may be ragged).
+    - [E-TILE-MODEL] — dims whose [h]/[e]/[f] disagree with the model.
+    - [E-TILE-PROW] — [p_row] inconsistent with [p] and the 2D array's
+      row count.
+    - [E-TILE-BUFFER] — the worst module requirement of Table 2 exceeds
+      the buffer capacity. *)
+
+val verify_dims :
+  ?name:string ->
+  Tf_arch.Arch.t ->
+  Tf_workloads.Workload.t ->
+  Transfusion.Buffer_req.dims ->
+  Diagnostic.t list
+(** Check fully-specified tile dims (including the claimed [p_row]). *)
+
+val verify :
+  ?name:string ->
+  Tf_arch.Arch.t ->
+  Tf_workloads.Workload.t ->
+  Transfusion.Tileseek.config ->
+  Diagnostic.t list
+(** Check a TileSeek configuration; [p_row] and the model dims are
+    derived the same way {!Transfusion.Tileseek.dims} derives them. *)

@@ -1,0 +1,119 @@
+open Tf_einsum
+open Tf_workloads
+module Cascades = Transfusion.Cascades
+module Dpipe = Transfusion.Dpipe
+module Layer_costs = Transfusion.Layer_costs
+module Strategies = Transfusion.Strategies
+module Tileseek = Transfusion.Tileseek
+
+let builtin_cascades () =
+  [
+    ("qkv", Cascades.qkv ());
+    ("mha", Cascades.mha ());
+    ("add_layernorm", Cascades.add_layernorm ());
+    ("ffn", Cascades.ffn Scalar_op.Gelu);
+    ("full_layer", Cascades.full_layer Scalar_op.Gelu);
+  ]
+
+let default_workload () = Workload.v Presets.t5 ~seq_len:16384
+
+let lint_builtins ?workload () =
+  let w = match workload with Some w -> w | None -> default_workload () in
+  let extents = Layer_costs.tile_extents w ~m0:(Extents.find (Workload.extents w) "m0") in
+  List.concat_map (fun (_, cascade) -> Ir_lint.lint ~extents cascade) (builtin_cascades ())
+
+(* The balanced inner key/value tile the strategies use by default,
+   shrunk until it divides the key/value length. *)
+let default_m0 (w : Workload.t) ~kv_len =
+  let preferred = Extents.find (Workload.extents w) "m0" in
+  let rec shrink v = if v <= 1 || kv_len mod v = 0 then Int.max 1 v else shrink (v / 2) in
+  shrink (Int.min preferred kv_len)
+
+let layer_cascade (w : Workload.t) ~include_ffn =
+  if include_ffn then Cascades.full_layer w.model.Model.activation
+  else
+    Cascade.concat ~name:"transformer_layer_noffn"
+      [ Cascades.qkv (); Cascades.mha (); Cascades.add_layernorm () ]
+
+let attention_tag = function
+  | Strategies.Self -> "self"
+  | Strategies.Causal_self -> "causal"
+  | Strategies.Cross { kv_len } -> Printf.sprintf "cross%d" kv_len
+
+let pipeline_cache : (string, Diagnostic.t list) Hashtbl.t = Hashtbl.create 64
+
+let pipeline ?(attention = Strategies.Self) ?(include_ffn = true) ?m0 (arch : Tf_arch.Arch.t)
+    (w : Workload.t) =
+  let kv_len =
+    match attention with
+    | Strategies.Cross { kv_len } -> kv_len
+    | Strategies.Self | Strategies.Causal_self -> w.seq_len
+  in
+  let causal = attention = Strategies.Causal_self in
+  let m0 = match m0 with Some v -> v | None -> default_m0 w ~kv_len in
+  (* The efficiency knobs are part of the key: ablations sweep them while
+     reusing the preset's name. *)
+  let key =
+    Printf.sprintf "%s/%g/%g/%s/%d/%d/%d/%s/%b" arch.Tf_arch.Arch.name
+      arch.Tf_arch.Arch.vector_eff_2d arch.Tf_arch.Arch.matrix_eff_1d w.model.Model.name w.seq_len
+      w.batch m0 (attention_tag attention) include_ffn
+  in
+  match Hashtbl.find_opt pipeline_cache key with
+  | Some diags -> diags
+  | None ->
+      let cascade = layer_cascade w ~include_ffn in
+      let name =
+        Printf.sprintf "dpipe(%s/%s/%s)" arch.Tf_arch.Arch.name (Cascade.name cascade)
+          (attention_tag attention)
+      in
+      let totals = Array.of_list (Layer_costs.op_totals ~m0 ~kv_len ~causal w cascade) in
+      let g = Cascade.to_dag cascade in
+      let load n = totals.(n).Layer_costs.total /. 256. in
+      let matrix n = Einsum.is_matrix_op totals.(n).Layer_costs.op in
+      let sched = Dpipe.schedule arch ~load ~matrix g in
+      let extents = Layer_costs.tile_extents w ~m0 in
+      let diags = Ir_lint.lint ~extents cascade @ Sched_lint.verify ~name g sched in
+      Hashtbl.add pipeline_cache key diags;
+      diags
+
+let strategy_result (arch : Tf_arch.Arch.t) (w : Workload.t) (r : Strategies.result) =
+  let tiling_diags =
+    match r.Strategies.tiling with
+    | None -> []
+    | Some config ->
+        let name =
+          Printf.sprintf "tiling(%s/%s/%d)" arch.Tf_arch.Arch.name w.model.Model.name w.seq_len
+        in
+        Tiling_lint.verify ~name arch w config
+  in
+  let sched_diags =
+    match r.Strategies.strategy with
+    | Strategies.Transfusion -> pipeline arch w
+    | Strategies.Unfused | Strategies.Flat | Strategies.Fusemax | Strategies.Fusemax_layerfuse ->
+        []
+  in
+  tiling_diags @ sched_diags
+
+let check_presets ?(quick = true) () =
+  let archs = if quick then [ Tf_arch.Presets.cloud; Tf_arch.Presets.edge ] else Tf_arch.Presets.all in
+  let models = if quick then [ Presets.llama3 ] else Presets.all in
+  let tiling_diags (arch : Tf_arch.Arch.t) (w : Workload.t) =
+    let name config_label =
+      Printf.sprintf "tiling(%s/%s/%s)" arch.Tf_arch.Arch.name w.model.Model.name config_label
+    in
+    Tiling_lint.verify ~name:(name "fallback") arch w (Tileseek.fallback arch w)
+    @ List.concat_map
+        (Tiling_lint.verify ~name:(name "greedy") arch w)
+        (Tileseek.greedy_variants arch w)
+  in
+  lint_builtins ()
+  @ List.concat_map
+      (fun (arch : Tf_arch.Arch.t) ->
+        List.concat_map
+          (fun model ->
+            let w = Workload.v model ~seq_len:16384 in
+            tiling_diags arch w
+            @ pipeline ~attention:Strategies.Self arch w
+            @ pipeline ~attention:Strategies.Causal_self arch w)
+          models)
+      archs

@@ -1,0 +1,48 @@
+(** End-to-end verification entry points.
+
+    These bundle the three checker families ({!Ir_lint}, {!Sched_lint},
+    {!Tiling_lint}) into the combinations the framework actually trusts:
+    the built-in cascades, the DPipe schedule of a fused layer, a
+    strategy-evaluation result, and the whole preset grid.  Experiment
+    code calls {!strategy_result} before exporting numbers; the CLI's
+    [lint] subcommand calls {!check_presets}. *)
+
+val builtin_cascades : unit -> (string * Tf_einsum.Cascade.t) list
+(** The paper's Cascades 1-4 plus the fused full layer, with names. *)
+
+val lint_builtins : ?workload:Tf_workloads.Workload.t -> unit -> Diagnostic.t list
+(** IR lints over every built-in cascade under the workload's tile
+    extents (default workload: T5 at 16K, the extents only scale the
+    checks' extent comparisons). *)
+
+val pipeline :
+  ?attention:Transfusion.Strategies.attention ->
+  ?include_ffn:bool ->
+  ?m0:int ->
+  Tf_arch.Arch.t ->
+  Tf_workloads.Workload.t ->
+  Diagnostic.t list
+(** Re-derive the DPipe schedule of the fused layer exactly as the
+    TransFusion strategy does (same cascade, same per-op loads, same
+    scheduler mode) and verify it with {!Sched_lint}, plus IR lints of
+    the cascade itself.  [m0] defaults to the workload's balanced
+    key/value split, shrunk to divide the key/value length.  Results are
+    memoised per (arch, workload, attention, ffn, m0). *)
+
+val strategy_result :
+  Tf_arch.Arch.t ->
+  Tf_workloads.Workload.t ->
+  Transfusion.Strategies.result ->
+  Diagnostic.t list
+(** Verify everything checkable about an evaluation result: the chosen
+    tiling (when present) against {!Tiling_lint}, and — for the
+    TransFusion strategy, whose latency rests on a DPipe schedule — the
+    {!pipeline} checks. *)
+
+val check_presets : ?quick:bool -> unit -> Diagnostic.t list
+(** The lint battery over the built-in presets: IR lints of the built-in
+    cascades, tiling lints of the fallback and greedy tilings of every
+    architecture preset, and schedule verification of the fused-layer
+    pipeline in both encoder (self-attention) and decoder (causal)
+    flavours.  [quick] (default true) restricts to the cloud and edge
+    architectures and the Llama3 model. *)

@@ -25,7 +25,10 @@ let add_edge g u v =
   let add k x m = Imap.update k (function None -> Some (Iset.singleton x) | Some s -> Some (Iset.add x s)) m in
   { g with forward = add u v g.forward; backward = add v u g.backward }
 
-let payload g id = Imap.find id g.payloads
+let payload g id =
+  match Imap.find_opt id g.payloads with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Dag.payload: unknown node %d" id)
 let nodes g = Imap.bindings g.payloads |> List.map fst
 let node_count g = Imap.cardinal g.payloads
 

@@ -26,7 +26,8 @@ val mem : 'a t -> int -> bool
 (** Node membership. *)
 
 val payload : 'a t -> int -> 'a
-(** Payload of a node.  @raise Not_found if absent. *)
+(** Payload of a node.
+    @raise Invalid_argument naming the node id if it is absent. *)
 
 val nodes : 'a t -> int list
 (** All node identifiers in ascending order. *)

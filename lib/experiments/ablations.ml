@@ -26,6 +26,13 @@ let dpipe_dag_costs (arch : Tf_arch.Arch.t) w (label, cascade) =
   let native n = if matrix n then Tf_arch.Arch.Pe_2d else Tf_arch.Arch.Pe_1d in
   let static = Dpipe.schedule ~mode:(`Static native) arch ~load ~matrix g in
   let dp = Dpipe.schedule ~mode:`Dp arch ~load ~matrix g in
+  let verify tag sched =
+    Exp_common.require_clean
+      (Printf.sprintf "%s %s schedule (%s)" label tag arch.Tf_arch.Arch.name)
+      (Tf_analysis.Sched_lint.verify ~name:(label ^ "/" ^ tag) g sched)
+  in
+  verify "static" static;
+  verify "dp" dp;
   {
     arch = arch.Tf_arch.Arch.name;
     dag = label;
@@ -74,12 +81,23 @@ let tileseek ?(seq = 16384) ?(iterations = 200) (model : Model.t) =
         let phases, _ = Strategies.phases ~tiling:config arch w Strategies.Transfusion in
         (Latency.evaluate arch phases).Latency.total_s
       in
+      let verify_tiling tag config =
+        Exp_common.require_clean
+          (Printf.sprintf "%s tiling (%s)" tag arch.Tf_arch.Arch.name)
+          (Tf_analysis.Tiling_lint.verify ~name:tag arch w config)
+      in
       let fallback = Tileseek.fallback arch w in
+      verify_tiling "fallback" fallback;
       let greedy_cost =
         List.fold_left Float.min infinity
-          (List.map evaluate (Tileseek.greedy_variants arch w))
+          (List.map
+             (fun c ->
+               verify_tiling "greedy" c;
+               evaluate c)
+             (Tileseek.greedy_variants arch w))
       in
       let searched, _ = Tileseek.search ~iterations arch w ~evaluate () in
+      verify_tiling "searched" searched;
       {
         arch = arch.Tf_arch.Arch.name;
         fallback_cost = evaluate fallback;
@@ -113,9 +131,8 @@ let with_effs (a : Tf_arch.Arch.t) ~vector_eff_2d ~matrix_eff_1d =
     ~dram_bw_bytes_per_s:a.Tf_arch.Arch.dram_bw_bytes_per_s ()
 
 let tf_over_fm arch w =
-  let fm = Strategies.evaluate ~tileseek_iterations:60 arch w Strategies.Fusemax in
-  Strategies.speedup ~baseline:fm
-    (Strategies.evaluate ~tileseek_iterations:60 arch w Strategies.Transfusion)
+  let eval s = Exp_common.verify_result arch w (Strategies.evaluate ~tileseek_iterations:60 arch w s) in
+  Strategies.speedup ~baseline:(eval Strategies.Fusemax) (eval Strategies.Transfusion)
 
 let sensitivity ?(seq = 65536) (model : Model.t) =
   let w = Workload.v model ~seq_len:seq in
@@ -153,7 +170,9 @@ let batch ?(seq = 16384) (model : Model.t) =
       List.map
         (fun batch ->
           let w = Workload.v ~batch model ~seq_len:seq in
-          let eval s = Strategies.evaluate ~tileseek_iterations:60 arch w s in
+          let eval s =
+            Exp_common.verify_result arch w (Strategies.evaluate ~tileseek_iterations:60 arch w s)
+          in
           let unfused = eval Strategies.Unfused and fm = eval Strategies.Fusemax in
           let tf = eval Strategies.Transfusion in
           {
@@ -186,7 +205,8 @@ let objectives ?(seq = 16384) (model : Model.t) =
       List.map
         (fun (label, objective) ->
           let r =
-            Strategies.evaluate ~tileseek_iterations:100 ~objective arch w Strategies.Transfusion
+            Exp_common.verify_result arch w
+              (Strategies.evaluate ~tileseek_iterations:100 ~objective arch w Strategies.Transfusion)
           in
           {
             arch = arch.Tf_arch.Arch.name;

@@ -3,6 +3,19 @@ module Strategies = Transfusion.Strategies
 
 let cache : (string, Strategies.result) Hashtbl.t = Hashtbl.create 256
 
+let require_clean what diags =
+  if Tf_analysis.Diagnostic.has_errors diags then
+    failwith
+      (Printf.sprintf "%s failed verification: %s" what
+         (String.concat "; "
+            (List.map Tf_analysis.Diagnostic.render (Tf_analysis.Diagnostic.errors diags))))
+
+let verify_result arch w (r : Strategies.result) =
+  require_clean
+    (Printf.sprintf "%s result" (Strategies.name r.Strategies.strategy))
+    (Tf_analysis.Verify.strategy_result arch w r);
+  r
+
 let evaluate ?(tileseek_iterations = 200) (arch : Tf_arch.Arch.t) (w : Workload.t) strategy =
   let key =
     Printf.sprintf "%s/%s/%d/%d/%s" arch.Tf_arch.Arch.name w.model.Model.name w.seq_len w.batch
@@ -11,7 +24,9 @@ let evaluate ?(tileseek_iterations = 200) (arch : Tf_arch.Arch.t) (w : Workload.
   match Hashtbl.find_opt cache key with
   | Some r -> r
   | None ->
-      let r = Strategies.evaluate ~tileseek_iterations arch w strategy in
+      let r =
+        verify_result arch w (Strategies.evaluate ~tileseek_iterations arch w strategy)
+      in
       Hashtbl.add cache key r;
       r
 

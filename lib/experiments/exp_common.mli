@@ -14,7 +14,23 @@ val evaluate :
 (** Memoised {!Transfusion.Strategies.evaluate} (key: architecture, model,
     sequence, batch, strategy).  [tileseek_iterations] defaults to 200 and
     is part of neither the key nor the figures' variance — the cache
-    assumes a consistent setting per process. *)
+    assumes a consistent setting per process.  Every fresh result is run
+    through {!Tf_analysis.Verify.strategy_result} before it is cached.
+    @raise Failure when the result's tiling or DPipe schedule fails
+    verification — a figure must never be exported from an invalid
+    artifact. *)
+
+val require_clean : string -> Tf_analysis.Diagnostic.t list -> unit
+(** Shared sanitizer guard: @raise Failure listing the error diagnostics
+    when any are present. *)
+
+val verify_result :
+  Tf_arch.Arch.t ->
+  Tf_workloads.Workload.t ->
+  Transfusion.Strategies.result ->
+  Transfusion.Strategies.result
+(** {!require_clean} over {!Tf_analysis.Verify.strategy_result}; returns
+    the result unchanged so call sites can wrap evaluations inline. *)
 
 val seq_sweep : quick:bool -> (string * int) list
 (** The paper's 1K-1M sweep; [quick] keeps {1K, 16K, 256K} for tests. *)

@@ -33,7 +33,16 @@ let run ?(quick = false) archs model =
         (fun (label, seq_len) ->
           let w = Workload.v model ~seq_len in
           let unfused, _ = Strategies.phases ~tileseek_iterations:60 arch w Strategies.Unfused in
-          let fused, _ = Strategies.phases ~tileseek_iterations:60 arch w Strategies.Transfusion in
+          let fused, tiling = Strategies.phases ~tileseek_iterations:60 arch w Strategies.Transfusion in
+          (match tiling with
+          | Some config ->
+              Exp_common.require_clean
+                (Printf.sprintf "roofline tiling (%s)" arch.Tf_arch.Arch.name)
+                (Tf_analysis.Tiling_lint.verify arch w config)
+          | None -> ());
+          Exp_common.require_clean
+            (Printf.sprintf "roofline schedule (%s)" arch.Tf_arch.Arch.name)
+            (Tf_analysis.Verify.pipeline arch w);
           rows_of arch label (unfused @ fused))
         (Exp_common.seq_sweep ~quick))
     archs

@@ -19,8 +19,21 @@ let structures (model : Model.t) ~seq =
 
 let run ?(seq = 16384) (arch : Tf_arch.Arch.t) (model : Model.t) =
   let w = Workload.v model ~seq_len:seq in
+  (* Sanitizer: the TransFusion rows below rest on a DPipe schedule per
+     sublayer flavour — verify each before reporting any number. *)
+  let verify_structure (s : Structures.t) =
+    List.iter
+      (fun (sub : Structures.sublayer) ->
+        Exp_common.require_clean
+          (Printf.sprintf "structure %s sublayer schedule (%s)" s.Structures.name
+             arch.Tf_arch.Arch.name)
+          (Tf_analysis.Verify.pipeline ~attention:sub.Structures.attention
+             ~include_ffn:sub.Structures.include_ffn arch w))
+      s.Structures.sublayers
+  in
   List.concat_map
     (fun (label, parts) ->
+      List.iter verify_structure parts;
       let total strategy =
         Structures.total_seconds
           (List.map

@@ -104,6 +104,43 @@ let mapper_bound_check (arch : Tf_arch.Arch.t) =
   in
   check "mapper respects compulsory traffic" ok ""
 
+let analysis_checks archs w =
+  let clean name diags =
+    check name
+      (not (Tf_analysis.Diagnostic.has_errors diags))
+      (Tf_analysis.Diagnostic.summary diags)
+  in
+  let builtin = clean "static analysis: built-in cascades lint clean" (Tf_analysis.Verify.lint_builtins ()) in
+  let pipelines =
+    List.concat_map
+      (fun (arch : Tf_arch.Arch.t) ->
+        List.map
+          (fun (label, attention) ->
+            clean
+              (Printf.sprintf "static analysis: %s pipeline verifies (%s)" label
+                 arch.Tf_arch.Arch.name)
+              (Tf_analysis.Verify.pipeline ~attention arch w))
+          [ ("self", Strategies.Self); ("causal", Strategies.Causal_self) ])
+      archs
+  in
+  (* Negative control: a schedule with a corrupted makespan must be rejected,
+     otherwise the sanitizers above prove nothing. *)
+  let negative =
+    let arch = List.hd archs in
+    let cascade = Transfusion.Cascades.mha () in
+    let totals = Array.of_list (Transfusion.Layer_costs.op_totals w cascade) in
+    let g = Tf_einsum.Cascade.to_dag cascade in
+    let load n = totals.(n).Transfusion.Layer_costs.total /. 256. in
+    let matrix n = Tf_einsum.Einsum.is_matrix_op totals.(n).Transfusion.Layer_costs.op in
+    let sched = Transfusion.Dpipe.schedule arch ~load ~matrix g in
+    let bad = { sched with Transfusion.Dpipe.makespan_cycles = -1.0 } in
+    let diags = Tf_analysis.Sched_lint.verify ~name:"negative-control" g bad in
+    check "static analysis: verifier rejects corrupted schedule"
+      (Tf_analysis.Diagnostic.has_errors diags)
+      (Tf_analysis.Diagnostic.summary diags)
+  in
+  (builtin :: pipelines) @ [ negative ]
+
 let numeric_check () =
   let state = Random.State.make [| 99 |] in
   let w = Tf_tensor.Transformer.random_weights state ~d_model:16 ~ffn_hidden:32 in
@@ -124,6 +161,7 @@ let run ?(quick = true) () =
   @ utilization_checks archs w
   @ tiling_checks archs w
   @ dpipe_replay_checks archs w
+  @ analysis_checks archs w
   @ [ cascade_roundtrip_check (); mapper_bound_check (List.hd archs); numeric_check () ]
 
 let all_passed checks = List.for_all (fun c -> c.passed) checks

@@ -99,8 +99,45 @@ let evaluate_candidate arch ~load ~matrix ~mode ~epochs g ~stage ~order =
   in
   (assignments, makespan, steady)
 
+let check g t =
+  let expected = Dag.node_count g * t.epochs_unrolled in
+  if List.length t.assignments <> expected then
+    Error
+      (Printf.sprintf "expected %d instances, got %d" expected (List.length t.assignments))
+  else
+    let end_of = Hashtbl.create 64 in
+    List.iter (fun a -> Hashtbl.replace end_of (a.node, a.epoch) a.end_cycle) t.assignments;
+    let dep_violation =
+      List.find_opt
+        (fun a ->
+          List.exists
+            (fun p ->
+              match Hashtbl.find_opt end_of (p, a.epoch) with
+              | Some e -> e > a.start_cycle +. 1e-6
+              | None -> true)
+            (Dag.preds g a.node))
+        t.assignments
+    in
+    match dep_violation with
+    | Some a -> Error (Printf.sprintf "dependency violation at node %d epoch %d" a.node a.epoch)
+    | None ->
+        let overlap r =
+          let on_r =
+            List.filter (fun a -> a.resource = r) t.assignments
+            |> List.sort (fun a b -> compare a.start_cycle b.start_cycle)
+          in
+          let rec scan = function
+            | a :: (b :: _ as rest) ->
+                if a.end_cycle > b.start_cycle +. 1e-6 then true else scan rest
+            | _ -> false
+          in
+          scan on_r
+        in
+        if overlap Arch.Pe_1d || overlap Arch.Pe_2d then Error "resource overlap"
+        else Ok ()
+
 let schedule ?(epochs = 8) ?(partition_limit = 512) ?(eval_partitions = 16) ?(order_limit = 4)
-    ?(mode = `Dp) arch ~load ~matrix g =
+    ?(mode = `Dp) ?(verify = false) arch ~load ~matrix g =
   if Dag.node_count g = 0 then invalid_arg "Dpipe.schedule: empty DAG";
   if not (Dag.is_acyclic g) then invalid_arg "Dpipe.schedule: cyclic graph";
   let partitions = Partition.enumerate ~limit:partition_limit g in
@@ -138,6 +175,22 @@ let schedule ?(epochs = 8) ?(partition_limit = 512) ?(eval_partitions = 16) ?(or
           let assignments, makespan, steady =
             evaluate_candidate arch ~load ~matrix ~mode ~epochs g ~stage ~order
           in
+          (if verify then
+             let candidate =
+               {
+                 partition;
+                 order;
+                 assignments;
+                 epochs_unrolled = epochs;
+                 makespan_cycles = makespan;
+                 steady_interval_cycles = steady;
+                 useful_2d_per_epoch = 0.;
+                 useful_1d_per_epoch = 0.;
+               }
+             in
+             match check g candidate with
+             | Ok () -> ()
+             | Error e -> invalid_arg (Printf.sprintf "Dpipe.schedule: invalid candidate (%s)" e));
           let better =
             match !best with
             | None -> true
@@ -175,43 +228,6 @@ let sequential_cycles arch ~load ~matrix g =
   List.fold_left
     (fun acc n -> acc +. candidate_static_latency arch ~load ~matrix n)
     0. (Dag.nodes g)
-
-let check g t =
-  let expected = Dag.node_count g * t.epochs_unrolled in
-  if List.length t.assignments <> expected then
-    Error
-      (Printf.sprintf "expected %d instances, got %d" expected (List.length t.assignments))
-  else
-    let end_of = Hashtbl.create 64 in
-    List.iter (fun a -> Hashtbl.replace end_of (a.node, a.epoch) a.end_cycle) t.assignments;
-    let dep_violation =
-      List.find_opt
-        (fun a ->
-          List.exists
-            (fun p ->
-              match Hashtbl.find_opt end_of (p, a.epoch) with
-              | Some e -> e > a.start_cycle +. 1e-6
-              | None -> true)
-            (Dag.preds g a.node))
-        t.assignments
-    in
-    match dep_violation with
-    | Some a -> Error (Printf.sprintf "dependency violation at node %d epoch %d" a.node a.epoch)
-    | None ->
-        let overlap r =
-          let on_r =
-            List.filter (fun a -> a.resource = r) t.assignments
-            |> List.sort (fun a b -> compare a.start_cycle b.start_cycle)
-          in
-          let rec scan = function
-            | a :: (b :: _ as rest) ->
-                if a.end_cycle > b.start_cycle +. 1e-6 then true else scan rest
-            | _ -> false
-          in
-          scan on_r
-        in
-        if overlap Arch.Pe_1d || overlap Arch.Pe_2d then Error "resource overlap"
-        else Ok ()
 
 let pp ppf t =
   Fmt.pf ppf "dpipe: steady=%.3e makespan=%.3e epochs=%d partition=%a@." t.steady_interval_cycles

@@ -49,6 +49,7 @@ val schedule :
   ?eval_partitions:int ->
   ?order_limit:int ->
   ?mode:[ `Dp | `Static of int -> Tf_arch.Arch.resource ] ->
+  ?verify:bool ->
   Tf_arch.Arch.t ->
   load:(int -> float) ->
   matrix:(int -> bool) ->
@@ -57,7 +58,12 @@ val schedule :
 (** Defaults: [epochs = 8] unrolled, [partition_limit = 512] candidates of
     which the [eval_partitions = 16] most load-balanced are DP-evaluated,
     [order_limit = 4] topological orders each, [mode = `Dp].
-    @raise Invalid_argument on an empty or cyclic DAG. *)
+    [verify] (default false) is a sanitizer hook: every candidate schedule
+    explored during the search is re-validated with {!check} as it is
+    produced, not just the winner.
+    @raise Invalid_argument on an empty or cyclic DAG, or — with
+    [~verify:true] — when the DP emits an invalid candidate (an internal
+    invariant violation). *)
 
 val total_cycles : t -> epochs:float -> float
 (** Estimated cost of running [epochs] pipeline epochs: the unrolled

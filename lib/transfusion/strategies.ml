@@ -42,7 +42,6 @@ type ctx = {
   n : float;  (* sequence length *)
   bsz : float;
   d : float;
-  h : float;
   ef : float;  (* head dim (E = F) *)
   s : float;
   layers : float;
@@ -85,7 +84,6 @@ let make_ctx ?(attention = Self) ?(include_ffn = true) ?layers ?(objective = Lat
     n;
     bsz;
     d;
-    h;
     ef;
     s;
     layers = (match layers with Some l -> fi l | None -> fi m.Model.layers);
