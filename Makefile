@@ -1,4 +1,4 @@
-.PHONY: all build test lint check figures clean
+.PHONY: all build test lint check figures bench-quick clean
 
 all: build
 
@@ -18,6 +18,10 @@ check:
 
 figures:
 	dune exec bin/transfusion_cli.exe -- figures --quick
+
+# Reduced-sweep benchmark with machine-readable timings (bench.json).
+bench-quick:
+	dune exec bench/main.exe -- --quick --json bench.json
 
 clean:
 	dune clean

@@ -6,11 +6,14 @@
    13, plus the Section 6.2 headline geomeans.
 
    Part 2 runs Bechamel microbenchmarks of the framework's own algorithms
-   (DPipe scheduling, bipartition enumeration, MCTS, the cascade
-   interpreter, full strategy evaluations), so regressions in the
+   (DPipe scheduling, bipartition enumeration, MCTS, TileSeek, the
+   cascade interpreter, full strategy evaluations), so regressions in the
    scheduler itself are visible.
 
-   Pass --quick to use the reduced sequence sweep. *)
+   Pass --quick to use the reduced sequence sweep.  Pass --json PATH to
+   additionally write machine-readable timings (per-figure wall seconds,
+   per-microbenchmark ns/run, the domain count) for BENCH_*.json perf
+   trajectory tracking; the schema is documented in EXPERIMENTS.md. *)
 
 open Bechamel
 open Toolkit
@@ -19,51 +22,106 @@ module Strategies = Transfusion.Strategies
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 
+let json_path =
+  let n = Array.length Sys.argv in
+  let rec scan i =
+    if i >= n then None
+    else if Sys.argv.(i) = "--json" && i + 1 < n then Some Sys.argv.(i + 1)
+    else scan (i + 1)
+  in
+  scan 1
+
 (* ------------------------------------------------------------------ *)
 (* Part 1: the paper's figures                                         *)
 
-let figures () =
+let figure_steps () =
   let archs = [ Tf_arch.Presets.cloud; Tf_arch.Presets.edge ] in
   let llama3 = Tf_workloads.Presets.llama3 in
-  E.Fig8_speedup.print
-    ~title:"Fig 8a: Llama3 speedup over Unfused across sequence lengths (cloud, edge)"
-    (E.Fig8_speedup.scaling ~quick archs llama3);
-  E.Fig8_speedup.print ~title:"Fig 8b: model-wise speedup over Unfused at 64K (cloud)"
-    (E.Fig8_speedup.model_wise Tf_arch.Presets.cloud);
-  E.Fig9_pe_size.print ~title:"Fig 9a: Llama3 speedup, edge 2D PE 32x32 and 64x64"
-    (E.Fig9_pe_size.scaling ~quick llama3);
-  E.Fig9_pe_size.print ~title:"Fig 9b: model-wise speedup at 64K, edge 2D PE 32x32 and 64x64"
-    (E.Fig9_pe_size.model_wise ());
-  E.Fig10_utilization.print ~title:"Fig 10a: 1D/2D PE utilization, Llama3 (cloud)"
-    (E.Fig10_utilization.scaling ~quick Tf_arch.Presets.cloud llama3);
-  E.Fig10_utilization.print ~title:"Fig 10b: 1D/2D PE utilization, models at 64K (cloud)"
-    (E.Fig10_utilization.model_wise Tf_arch.Presets.cloud);
-  E.Fig11_contribution.print
-    ~title:"Fig 11: per-layer speedup contribution, TransFusion over FuseMax (Llama3)"
-    (E.Fig11_contribution.scaling ~quick archs llama3);
-  E.Fig12_energy.print ~title:"Fig 12a: Llama3 energy vs Unfused (cloud, edge)"
-    (E.Fig12_energy.scaling ~quick archs llama3);
-  E.Fig12_energy.print ~title:"Fig 12b: model-wise energy vs Unfused at 64K (cloud)"
-    (E.Fig12_energy.model_wise Tf_arch.Presets.cloud);
-  E.Fig13_breakdown.print ~title:"Fig 13: energy breakdown across the memory hierarchy (Llama3)"
-    (E.Fig13_breakdown.scaling ~quick archs llama3);
-  E.Exp_common.print_header "Section 6.2 headline geomeans (TransFusion vs baselines)";
-  List.iter (fun arch -> E.Headline.print (E.Headline.compute ~quick arch)) archs
+  [
+    ( "fig8a",
+      fun () ->
+        E.Fig8_speedup.print
+          ~title:"Fig 8a: Llama3 speedup over Unfused across sequence lengths (cloud, edge)"
+          (E.Fig8_speedup.scaling ~quick archs llama3) );
+    ( "fig8b",
+      fun () ->
+        E.Fig8_speedup.print ~title:"Fig 8b: model-wise speedup over Unfused at 64K (cloud)"
+          (E.Fig8_speedup.model_wise Tf_arch.Presets.cloud) );
+    ( "fig9a",
+      fun () ->
+        E.Fig9_pe_size.print ~title:"Fig 9a: Llama3 speedup, edge 2D PE 32x32 and 64x64"
+          (E.Fig9_pe_size.scaling ~quick llama3) );
+    ( "fig9b",
+      fun () ->
+        E.Fig9_pe_size.print
+          ~title:"Fig 9b: model-wise speedup at 64K, edge 2D PE 32x32 and 64x64"
+          (E.Fig9_pe_size.model_wise ()) );
+    ( "fig10a",
+      fun () ->
+        E.Fig10_utilization.print ~title:"Fig 10a: 1D/2D PE utilization, Llama3 (cloud)"
+          (E.Fig10_utilization.scaling ~quick Tf_arch.Presets.cloud llama3) );
+    ( "fig10b",
+      fun () ->
+        E.Fig10_utilization.print ~title:"Fig 10b: 1D/2D PE utilization, models at 64K (cloud)"
+          (E.Fig10_utilization.model_wise Tf_arch.Presets.cloud) );
+    ( "fig11",
+      fun () ->
+        E.Fig11_contribution.print
+          ~title:"Fig 11: per-layer speedup contribution, TransFusion over FuseMax (Llama3)"
+          (E.Fig11_contribution.scaling ~quick archs llama3) );
+    ( "fig12a",
+      fun () ->
+        E.Fig12_energy.print ~title:"Fig 12a: Llama3 energy vs Unfused (cloud, edge)"
+          (E.Fig12_energy.scaling ~quick archs llama3) );
+    ( "fig12b",
+      fun () ->
+        E.Fig12_energy.print ~title:"Fig 12b: model-wise energy vs Unfused at 64K (cloud)"
+          (E.Fig12_energy.model_wise Tf_arch.Presets.cloud) );
+    ( "fig13",
+      fun () ->
+        E.Fig13_breakdown.print
+          ~title:"Fig 13: energy breakdown across the memory hierarchy (Llama3)"
+          (E.Fig13_breakdown.scaling ~quick archs llama3) );
+    ( "headline",
+      fun () ->
+        E.Exp_common.print_header "Section 6.2 headline geomeans (TransFusion vs baselines)";
+        List.iter (fun arch -> E.Headline.print (E.Headline.compute ~quick arch)) archs );
+  ]
 
 (* Ablations and extension studies (DESIGN.md Section 4 and the paper's
    Section 3.2 composition claim). *)
-let ablations () =
+let ablation_steps () =
   let t5 = Tf_workloads.Presets.t5 in
   let llama3 = Tf_workloads.Presets.llama3 in
-  E.Ablations.print_dpipe (E.Ablations.dpipe llama3);
-  E.Ablations.print_tileseek (E.Ablations.tileseek ~iterations:150 t5);
-  E.Ablations.print_sensitivity (E.Ablations.sensitivity llama3);
-  E.Ablations.print_batch (E.Ablations.batch t5);
-  E.Ablations.print_objectives (E.Ablations.objectives t5);
-  E.Exp_structures.print ~title:"Extension: encoder / decoder / encoder-decoder (edge, T5, 16K)"
-    (E.Exp_structures.run Tf_arch.Presets.edge t5);
-  E.Exp_roofline.print ~title:"Analysis: per-module roofline classification (Llama3)"
-    (E.Exp_roofline.run ~quick:true [ Tf_arch.Presets.cloud; Tf_arch.Presets.edge ] llama3)
+  [
+    ("ablation/dpipe", fun () -> E.Ablations.print_dpipe (E.Ablations.dpipe llama3));
+    ( "ablation/tileseek",
+      fun () -> E.Ablations.print_tileseek (E.Ablations.tileseek ~iterations:150 t5) );
+    ( "ablation/sensitivity",
+      fun () -> E.Ablations.print_sensitivity (E.Ablations.sensitivity llama3) );
+    ("ablation/batch", fun () -> E.Ablations.print_batch (E.Ablations.batch t5));
+    ("ablation/objectives", fun () -> E.Ablations.print_objectives (E.Ablations.objectives t5));
+    ( "ablation/structures",
+      fun () ->
+        E.Exp_structures.print
+          ~title:"Extension: encoder / decoder / encoder-decoder (edge, T5, 16K)"
+          (E.Exp_structures.run Tf_arch.Presets.edge t5) );
+    ( "ablation/roofline",
+      fun () ->
+        E.Exp_roofline.print ~title:"Analysis: per-module roofline classification (Llama3)"
+          (E.Exp_roofline.run ~quick:true [ Tf_arch.Presets.cloud; Tf_arch.Presets.edge ] llama3)
+    );
+  ]
+
+(* Run each step, recording wall time; the printed output is exactly the
+   step's own (no timing lines on stdout, so figure output is stable). *)
+let run_timed steps =
+  List.map
+    (fun (name, step) ->
+      let t0 = Unix.gettimeofday () in
+      step ();
+      (name, Unix.gettimeofday () -. t0))
+    steps
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: microbenchmarks of the framework itself                     *)
@@ -103,6 +161,13 @@ let mcts_bench () =
     let rng = Random.State.make [| 1 |] in
     ignore (Transfusion.Mcts.search ~rng ~iterations:100 problem)
 
+let tileseek_search_bench () =
+  let evaluate config =
+    let phases, _ = Strategies.phases ~tiling:config edge workload Strategies.Transfusion in
+    (Tf_costmodel.Latency.evaluate edge phases).Tf_costmodel.Latency.total_s
+  in
+  fun () -> ignore (Transfusion.Tileseek.search ~iterations:100 edge workload ~evaluate ())
+
 let interp_bench () =
   let rng = Random.State.make [| 5 |] in
   let extents = Tf_einsum.Extents.of_list [ ("h", 2); ("e", 8); ("f", 8); ("p", 8); ("m0", 8) ] in
@@ -136,6 +201,7 @@ let tests () =
     Test.make ~name:"dpipe/full-layer-dag(edge)" (Staged.stage (full_layer_dag_bench ()));
     Test.make ~name:"dag/partition-enumerate(29)" (Staged.stage (partition_bench ()));
     Test.make ~name:"tileseek/mcts-100-iters" (Staged.stage (mcts_bench ()));
+    Test.make ~name:"tileseek/search-100-iters(edge)" (Staged.stage (tileseek_search_bench ()));
     Test.make ~name:"tensor/interp-mha-tile" (Staged.stage (interp_bench ()));
     Test.make ~name:"tensor/streaming-attention" (Staged.stage (streaming_attention_bench ()));
     Test.make ~name:"strategy/evaluate-fusemax" (Staged.stage (evaluate_bench Strategies.Fusemax ()));
@@ -151,18 +217,59 @@ let microbench () =
   let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"transfusion" (tests ())) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) results [] in
-  List.iter
+  List.map
     (fun (name, ols_result) ->
       let estimate =
         match Analyze.OLS.estimates ols_result with Some (e :: _) -> e | _ -> Float.nan
       in
+      let r_square = Analyze.OLS.r_square ols_result in
       Printf.printf "%-50s %16.1f ns/run%s\n" name estimate
-        (match Analyze.OLS.r_square ols_result with
+        (match r_square with
         | Some r2 -> Printf.sprintf "   (r2=%.3f)" r2
-        | None -> ""))
+        | None -> "");
+      (name, estimate, r_square))
     (List.sort compare rows)
 
+(* ------------------------------------------------------------------ *)
+(* JSON emission (hand-rolled: names are ASCII identifiers, values are
+   numbers, so no escaping is needed beyond what printf provides)       *)
+
+let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.6g" f
+
+let write_json path ~steps ~micro =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"transfusion-bench/v1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" (Tf_parallel.jobs ()));
+  Buffer.add_string buf "  \"figures\": [\n";
+  List.iteri
+    (fun i (name, wall_s) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"name\": \"%s\", \"wall_s\": %s}%s\n" name (json_float wall_s)
+           (if i = List.length steps - 1 then "" else ",")))
+    steps;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"microbench\": [\n";
+  List.iteri
+    (fun i (name, ns, r2) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}%s\n" name
+           (json_float ns)
+           (match r2 with Some r -> json_float r | None -> "null")
+           (if i = List.length micro - 1 then "" else ",")))
+    micro;
+  Buffer.add_string buf "  ]\n";
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
 let () =
-  figures ();
-  ablations ();
-  microbench ()
+  let steps = run_timed (figure_steps () @ ablation_steps ()) in
+  let micro = microbench () in
+  match json_path with
+  | None -> ()
+  | Some path ->
+      write_json path ~steps ~micro;
+      Printf.eprintf "bench: wrote %s\n%!" path

@@ -49,7 +49,9 @@ let dpipe ?(seq = 65536) (model : Model.t) =
       ("full-layer", Transfusion.Cascades.full_layer model.Model.activation);
     ]
   in
-  List.concat_map (fun arch -> List.map (dpipe_dag_costs arch w) dags) archs
+  Exp_common.par_map
+    (fun (arch, dag) -> dpipe_dag_costs arch w dag)
+    (List.concat_map (fun arch -> List.map (fun dag -> (arch, dag)) dags) archs)
 
 let print_dpipe rows =
   Exp_common.print_header "Ablation: DPipe scheduling ladder (cycles per epoch, lower is better)";
@@ -74,7 +76,7 @@ type tileseek_row = {
 }
 
 let tileseek ?(seq = 16384) ?(iterations = 200) (model : Model.t) =
-  List.map
+  Exp_common.par_map
     (fun (arch : Tf_arch.Arch.t) ->
       let w = Workload.v model ~seq_len:seq in
       let evaluate config =
@@ -137,7 +139,7 @@ let tf_over_fm arch w =
 let sensitivity ?(seq = 65536) (model : Model.t) =
   let w = Workload.v model ~seq_len:seq in
   let sweep base knob values =
-    List.map
+    Exp_common.par_map
       (fun value ->
         let arch =
           match knob with
@@ -165,7 +167,7 @@ let print_sensitivity rows =
 type batch_row = { arch : string; batch : int; tf_over_fm : float; tf_over_unfused : float }
 
 let batch ?(seq = 16384) (model : Model.t) =
-  List.concat_map
+  Exp_common.par_concat_map
     (fun (arch : Tf_arch.Arch.t) ->
       List.map
         (fun batch ->
@@ -200,7 +202,7 @@ type objective_row = { arch : string; objective : string; latency_s : float; ene
 
 let objectives ?(seq = 16384) (model : Model.t) =
   let w = Workload.v model ~seq_len:seq in
-  List.concat_map
+  Exp_common.par_concat_map
     (fun (arch : Tf_arch.Arch.t) ->
       List.map
         (fun (label, objective) ->

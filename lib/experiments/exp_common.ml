@@ -1,7 +1,11 @@
 open Tf_workloads
 module Strategies = Transfusion.Strategies
 
-let cache : (string, Strategies.result) Hashtbl.t = Hashtbl.create 256
+(* Shared across the domain pool by the parallel figure sweeps, hence
+   the mutexed table. *)
+let cache : (string, Strategies.result) Tf_parallel.Memo.t = Tf_parallel.Memo.create ~size:256 ()
+
+let reset_cache () = Tf_parallel.Memo.clear cache
 
 let require_clean what diags =
   if Tf_analysis.Diagnostic.has_errors diags then
@@ -17,18 +21,30 @@ let verify_result arch w (r : Strategies.result) =
   r
 
 let evaluate ?(tileseek_iterations = 200) (arch : Tf_arch.Arch.t) (w : Workload.t) strategy =
+  (* The TileSeek budget changes the result, so it must be part of the
+     key: evaluations at different budgets may not share cache entries. *)
   let key =
-    Printf.sprintf "%s/%s/%d/%d/%s" arch.Tf_arch.Arch.name w.model.Model.name w.seq_len w.batch
-      (Strategies.name strategy)
+    Printf.sprintf "%s/%s/%d/%d/%s/%d" arch.Tf_arch.Arch.name w.model.Model.name w.seq_len
+      w.batch (Strategies.name strategy) tileseek_iterations
   in
-  match Hashtbl.find_opt cache key with
-  | Some r -> r
-  | None ->
-      let r =
-        verify_result arch w (Strategies.evaluate ~tileseek_iterations arch w strategy)
-      in
-      Hashtbl.add cache key r;
-      r
+  Tf_parallel.Memo.find_or_compute cache key (fun () ->
+      verify_result arch w (Strategies.evaluate ~tileseek_iterations arch w strategy))
+
+let prime ?tileseek_iterations points =
+  Tf_parallel.iter ~chunk:1
+    (fun (arch, w, strategy) ->
+      ignore (evaluate ?tileseek_iterations arch w strategy : Strategies.result))
+    (Array.of_list points)
+
+let sweep_points ?(strategies = Strategies.all) archs workloads =
+  List.concat_map
+    (fun arch ->
+      List.concat_map (fun w -> List.map (fun s -> (arch, w, s)) strategies) workloads)
+    archs
+
+let par_map f l = Tf_parallel.map_list ~chunk:1 f l
+
+let par_concat_map f l = List.concat (par_map f l)
 
 let seq_sweep ~quick =
   if quick then [ ("1K", 1024); ("16K", 16384); ("256K", 262144) ] else Workload.seq_labels

@@ -12,13 +12,44 @@ val evaluate :
   Transfusion.Strategies.t ->
   Transfusion.Strategies.result
 (** Memoised {!Transfusion.Strategies.evaluate} (key: architecture, model,
-    sequence, batch, strategy).  [tileseek_iterations] defaults to 200 and
-    is part of neither the key nor the figures' variance — the cache
-    assumes a consistent setting per process.  Every fresh result is run
-    through {!Tf_analysis.Verify.strategy_result} before it is cached.
+    sequence, batch, strategy, TileSeek budget).  [tileseek_iterations]
+    defaults to 200 and is part of the key: evaluations at different
+    search budgets never share cache entries.  The cache is domain-safe
+    ({!Tf_parallel.Memo}), so sweeps may evaluate points concurrently;
+    repeated lookups return the physically identical result.  Every fresh
+    result is run through {!Tf_analysis.Verify.strategy_result} before it
+    is cached.
     @raise Failure when the result's tiling or DPipe schedule fails
     verification — a figure must never be exported from an invalid
     artifact. *)
+
+val reset_cache : unit -> unit
+(** Drop every memoised evaluation (tests and determinism harnesses). *)
+
+val prime :
+  ?tileseek_iterations:int ->
+  (Tf_arch.Arch.t * Tf_workloads.Workload.t * Transfusion.Strategies.t) list ->
+  unit
+(** Evaluate the given sweep points across the {!Tf_parallel} domain
+    pool, populating the cache; later (sequential) [evaluate] calls for
+    the same points are then hits.  Figure modules prime their whole
+    grid first and print from the cache, which parallelises the sweep
+    without touching the printed output. *)
+
+val sweep_points :
+  ?strategies:Transfusion.Strategies.t list ->
+  Tf_arch.Arch.t list ->
+  Tf_workloads.Workload.t list ->
+  (Tf_arch.Arch.t * Tf_workloads.Workload.t * Transfusion.Strategies.t) list
+(** The (arch × workload × strategy) grid, [strategies] defaulting to
+    all five, in row-major order. *)
+
+val par_map : ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map over the domain pool (chunk size 1 —
+    experiment evaluations are coarse). *)
+
+val par_concat_map : ('a -> 'b list) -> 'a list -> 'b list
+(** [List.concat_map] with the mapping fanned out like {!par_map}. *)
 
 val require_clean : string -> Tf_analysis.Diagnostic.t list -> unit
 (** Shared sanitizer guard: @raise Failure listing the error diagnostics

@@ -27,7 +27,7 @@ let rows_of (arch : Tf_arch.Arch.t) seq_label phases =
     phases
 
 let run ?(quick = false) archs model =
-  List.concat_map
+  Exp_common.par_concat_map
     (fun (arch : Tf_arch.Arch.t) ->
       List.concat_map
         (fun (label, seq_len) ->

@@ -19,11 +19,17 @@ let point (arch : Tf_arch.Arch.t) label w =
   { arch = arch.Tf_arch.Arch.name; label; per_strategy = utilizations arch w }
 
 let scaling ?(quick = false) arch model =
+  let workloads =
+    List.map (fun (_, seq_len) -> Workload.v model ~seq_len) (Exp_common.seq_sweep ~quick)
+  in
+  Exp_common.prime (Exp_common.sweep_points [ arch ] workloads);
   List.map
     (fun (label, seq_len) -> point arch label (Workload.v model ~seq_len))
     (Exp_common.seq_sweep ~quick)
 
 let model_wise ?(seq = Exp_common.seq_64k) arch =
+  let workloads = List.map (fun model -> Workload.v model ~seq_len:seq) Exp_common.models in
+  Exp_common.prime (Exp_common.sweep_points [ arch ] workloads);
   List.map
     (fun (model : Model.t) -> point arch model.Model.name (Workload.v model ~seq_len:seq))
     Exp_common.models

@@ -5,6 +5,13 @@ module Speedup = Transfusion.Speedup
 type point = { arch : string; label : string; entries : Speedup.entry list }
 
 let scaling ?(quick = false) archs model =
+  let workloads =
+    List.map (fun (_, seq_len) -> Workload.v model ~seq_len) (Exp_common.seq_sweep ~quick)
+  in
+  Exp_common.prime
+    (Exp_common.sweep_points
+       ~strategies:[ Strategies.Fusemax; Strategies.Transfusion ]
+       archs workloads);
   List.concat_map
     (fun (arch : Tf_arch.Arch.t) ->
       List.map

@@ -4,6 +4,10 @@ module Strategies = Transfusion.Strategies
 type point = { arch : string; label : string; energy : (Strategies.t * float) list }
 
 let scaling ?(quick = false) archs model =
+  let workloads =
+    List.map (fun (_, seq_len) -> Workload.v model ~seq_len) (Exp_common.seq_sweep ~quick)
+  in
+  Exp_common.prime (Exp_common.sweep_points archs workloads);
   List.concat_map
     (fun (arch : Tf_arch.Arch.t) ->
       List.map
@@ -14,6 +18,9 @@ let scaling ?(quick = false) archs model =
     archs
 
 let model_wise ?(seq = Exp_common.seq_64k) (arch : Tf_arch.Arch.t) =
+  Exp_common.prime
+    (Exp_common.sweep_points [ arch ]
+       (List.map (fun model -> Workload.v model ~seq_len:seq) Exp_common.models));
   List.map
     (fun (model : Model.t) ->
       let w = Workload.v model ~seq_len:seq in

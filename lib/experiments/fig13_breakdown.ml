@@ -12,6 +12,10 @@ type point = {
 
 let scaling ?(quick = false) ?(strategies = [ Strategies.Transfusion; Strategies.Fusemax ]) archs
     model =
+  let workloads =
+    List.map (fun (_, seq_len) -> Workload.v model ~seq_len) (Exp_common.seq_sweep ~quick)
+  in
+  Exp_common.prime (Exp_common.sweep_points ~strategies archs workloads);
   List.concat_map
     (fun (arch : Tf_arch.Arch.t) ->
       List.concat_map

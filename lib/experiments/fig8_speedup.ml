@@ -8,6 +8,10 @@ type point = {
 }
 
 let scaling ?(quick = false) archs model =
+  let workloads =
+    List.map (fun (_, seq_len) -> Workload.v model ~seq_len) (Exp_common.seq_sweep ~quick)
+  in
+  Exp_common.prime (Exp_common.sweep_points archs workloads);
   List.concat_map
     (fun (arch : Tf_arch.Arch.t) ->
       List.map
@@ -18,6 +22,8 @@ let scaling ?(quick = false) archs model =
     archs
 
 let model_wise ?(seq = Exp_common.seq_64k) (arch : Tf_arch.Arch.t) =
+  let workloads = List.map (fun model -> Workload.v model ~seq_len:seq) Exp_common.models in
+  Exp_common.prime (Exp_common.sweep_points [ arch ] workloads);
   List.map
     (fun (model : Model.t) ->
       let w = Workload.v model ~seq_len:seq in

@@ -10,6 +10,11 @@ type summary = {
 }
 
 let ratios ?(quick = false) ?(model = Presets.llama3) arch baseline =
+  let workloads =
+    List.map (fun (_, seq_len) -> Workload.v model ~seq_len) (Exp_common.seq_sweep ~quick)
+  in
+  Exp_common.prime
+    (Exp_common.sweep_points ~strategies:[ baseline; Strategies.Transfusion ] [ arch ] workloads);
   List.map
     (fun (_, seq_len) ->
       let w = Workload.v model ~seq_len in

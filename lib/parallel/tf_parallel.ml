@@ -1,0 +1,271 @@
+(* Domain pool with chunked, order-preserving parallel map.
+
+   One batch runs at a time (callers serialize on [engine]); the caller
+   participates in its own batch, so a pool of size [j] uses [j - 1]
+   worker domains.  Work is claimed chunk-by-chunk through an atomic
+   counter and results land in preallocated slots indexed by input
+   position, which is what makes parallel output bit-identical to
+   sequential output for pure functions. *)
+
+let max_jobs = 126
+
+let clamp n = Int.max 1 (Int.min max_jobs n)
+
+let override = ref None
+
+let env_jobs () =
+  match Sys.getenv_opt "TRANSFUSION_JOBS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some (clamp n)
+    | Some _ | None -> None)
+
+let default_jobs =
+  lazy
+    (match env_jobs () with
+    | Some n -> n
+    | None -> clamp (Domain.recommended_domain_count ()))
+
+let jobs () =
+  match !override with
+  | Some n -> n
+  | None -> Lazy.force default_jobs
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Tf_parallel.set_jobs: jobs must be >= 1";
+  override := Some (clamp n)
+
+let clear_jobs_override () = override := None
+
+let worker_flag : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let in_worker () = Domain.DLS.get worker_flag
+
+(* Set on the calling domain for the duration of a batch it drives, so a
+   nested [map] reached from inside its own chunk work degrades to
+   sequential instead of re-entering the engine (the pool does not
+   recursively subdivide). *)
+let busy_flag : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let must_run_sequentially () = Domain.DLS.get worker_flag || Domain.DLS.get busy_flag
+
+(* A batch is a monomorphic view of one [map] call: [run i] executes
+   chunk [i] and writes results straight into the caller's slots. *)
+type batch = {
+  chunks : int;
+  run : int -> unit;
+  next : int Atomic.t;
+  pending : int Atomic.t;
+  err : (int * exn * Printexc.raw_backtrace) option Atomic.t;
+}
+
+let engine = Mutex.create () (* serializes top-level batches *)
+
+let lock = Mutex.create () (* guards [current]/[generation]/[shutdown] *)
+
+let work_ready = Condition.create ()
+
+let batch_done = Condition.create ()
+
+let current : batch option ref = ref None
+
+let generation = ref 0
+
+let shutdown = ref false
+
+let handles : unit Domain.t list ref = ref []
+
+(* Keep the smallest failing chunk index so the surfaced exception is
+   the one a sequential run would have hit first (among the failures
+   that actually occurred). *)
+let rec record_err b i e bt =
+  let cur = Atomic.get b.err in
+  let better =
+    match cur with
+    | None -> true
+    | Some (j, _, _) -> i < j
+  in
+  if better && not (Atomic.compare_and_set b.err cur (Some (i, e, bt))) then
+    record_err b i e bt
+
+(* Claim and run chunks until none remain.  After a failure the
+   remaining chunks are still claimed (so [pending] reaches zero) but
+   their work is skipped. *)
+let run_batch_chunks b =
+  let continue = ref true in
+  while !continue do
+    let i = Atomic.fetch_and_add b.next 1 in
+    if i >= b.chunks then continue := false
+    else begin
+      (if Atomic.get b.err = None then
+         try b.run i
+         with e -> record_err b i e (Printexc.get_raw_backtrace ()));
+      if Atomic.fetch_and_add b.pending (-1) = 1 then begin
+        Mutex.lock lock;
+        Condition.broadcast batch_done;
+        Mutex.unlock lock
+      end
+    end
+  done
+
+let worker_loop () =
+  Domain.DLS.set worker_flag true;
+  let last = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock lock;
+    while (not !shutdown) && !generation = !last do
+      Condition.wait work_ready lock
+    done;
+    if !shutdown then begin
+      running := false;
+      Mutex.unlock lock
+    end
+    else begin
+      last := !generation;
+      let b = !current in
+      Mutex.unlock lock;
+      match b with
+      | None -> ()
+      | Some b -> run_batch_chunks b
+    end
+  done
+
+(* Called with [engine] held, so [handles] mutation is single-threaded. *)
+let ensure_workers count =
+  let missing = count - List.length !handles in
+  for _ = 1 to missing do
+    handles := Domain.spawn worker_loop :: !handles
+  done
+
+let shutdown_pool () =
+  Mutex.lock lock;
+  shutdown := true;
+  Condition.broadcast work_ready;
+  Mutex.unlock lock;
+  List.iter Domain.join !handles;
+  handles := []
+
+let () = at_exit shutdown_pool
+
+let run_parallel ~jobs:k ~chunks run =
+  Mutex.lock engine;
+  Domain.DLS.set busy_flag true;
+  ensure_workers (k - 1);
+  let b =
+    { chunks; run; next = Atomic.make 0; pending = Atomic.make chunks;
+      err = Atomic.make None }
+  in
+  Mutex.lock lock;
+  current := Some b;
+  incr generation;
+  Condition.broadcast work_ready;
+  Mutex.unlock lock;
+  run_batch_chunks b;
+  Mutex.lock lock;
+  while Atomic.get b.pending > 0 do
+    Condition.wait batch_done lock
+  done;
+  current := None;
+  Mutex.unlock lock;
+  Domain.DLS.set busy_flag false;
+  Mutex.unlock engine;
+  match Atomic.get b.err with
+  | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let map ?jobs:j ?chunk f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let k =
+      match j with
+      | Some v ->
+        if v < 1 then invalid_arg "Tf_parallel.map: jobs must be >= 1";
+        clamp v
+      | None -> jobs ()
+    in
+    let k = Int.min k n in
+    if k <= 1 || must_run_sequentially () then Array.map f arr
+    else begin
+      let chunk_size =
+        match chunk with
+        | Some c -> Int.max 1 c
+        | None ->
+          (* ~4 chunks per job keeps load balanced without excessive
+             claiming traffic; result placement is by index, so the
+             split never affects the output. *)
+          let target = 4 * k in
+          Int.max 1 ((n + target - 1) / target)
+      in
+      let chunks = (n + chunk_size - 1) / chunk_size in
+      let results = Array.make n None in
+      let run i =
+        let lo = i * chunk_size in
+        let hi = Int.min n (lo + chunk_size) - 1 in
+        for idx = lo to hi do
+          results.(idx) <- Some (f arr.(idx))
+        done
+      in
+      run_parallel ~jobs:k ~chunks run;
+      Array.map
+        (function
+          | Some v -> v
+          | None -> assert false)
+        results
+    end
+  end
+
+let map_list ?jobs ?chunk f l =
+  Array.to_list (map ?jobs ?chunk f (Array.of_list l))
+
+let iter ?jobs ?chunk f arr = ignore (map ?jobs ?chunk f arr : unit array)
+
+let map_reduce ?jobs ?chunk ~map:f ~reduce init arr =
+  Array.fold_left reduce init (map ?jobs ?chunk f arr)
+
+module Memo = struct
+  type ('k, 'v) t = {
+    mutex : Mutex.t;
+    tbl : ('k, 'v) Hashtbl.t;
+  }
+
+  let create ?(size = 64) () = { mutex = Mutex.create (); tbl = Hashtbl.create size }
+
+  let find_opt t k =
+    Mutex.lock t.mutex;
+    let r = Hashtbl.find_opt t.tbl k in
+    Mutex.unlock t.mutex;
+    r
+
+  (* The thunk runs outside the lock so distinct keys memoize
+     concurrently; on a same-key race the first insertion wins and
+     every caller returns that stored value. *)
+  let find_or_compute t k f =
+    match find_opt t k with
+    | Some v -> v
+    | None ->
+      let v = f () in
+      Mutex.lock t.mutex;
+      let stored =
+        match Hashtbl.find_opt t.tbl k with
+        | Some existing -> existing
+        | None ->
+          Hashtbl.add t.tbl k v;
+          v
+      in
+      Mutex.unlock t.mutex;
+      stored
+
+  let length t =
+    Mutex.lock t.mutex;
+    let n = Hashtbl.length t.tbl in
+    Mutex.unlock t.mutex;
+    n
+
+  let clear t =
+    Mutex.lock t.mutex;
+    Hashtbl.reset t.tbl;
+    Mutex.unlock t.mutex
+end

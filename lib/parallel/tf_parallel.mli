@@ -1,0 +1,95 @@
+(** Domain-parallel evaluation engine (OCaml 5 [Domain]s, no dependencies).
+
+    The evaluation pipeline — figure sweeps, DPipe candidate grids,
+    TileSeek rollouts — is embarrassingly parallel: every task is a pure
+    function of its inputs.  This module provides a lazily-started fixed
+    pool of worker domains and order-preserving chunked [map] /
+    [map_reduce] over it, plus a mutex-protected memo table for the
+    caches those tasks share.
+
+    {b Determinism contract.}  For a pure [f], [map f] returns exactly
+    the array the sequential [Array.map f] would return: results are
+    written to their input slot, so order is preserved, and no
+    reduction is reassociated ([map_reduce] folds the mapped results
+    left-to-right exactly like [Array.fold_left]).  Parallel and
+    sequential runs are therefore bit-identical.  Worker exceptions are
+    re-raised in the caller; when several chunks fail, the exception of
+    the earliest chunk in input order wins, matching what a sequential
+    run would have raised first.
+
+    {b Pool model.}  The pool holds [jobs () - 1] worker domains plus
+    the calling domain, which participates in every batch.  Workers are
+    spawned on first use and grow on demand (never shrink); an [at_exit]
+    hook shuts them down so programs terminate cleanly.  The default
+    size comes from the [TRANSFUSION_JOBS] environment variable when
+    set (clamped to a sane range), otherwise
+    [Domain.recommended_domain_count ()].  [TRANSFUSION_JOBS=1] — or
+    [jobs:1] — degenerates to a plain sequential map in the calling
+    domain, touching no pool state at all.
+
+    Nested calls from inside a worker run sequentially (the pool does
+    not recursively subdivide), so parallel callers may freely invoke
+    code that itself uses [map]. *)
+
+val jobs : unit -> int
+(** The effective parallelism for the next [map]: the [set_jobs]
+    override if one is active, else [TRANSFUSION_JOBS], else
+    [Domain.recommended_domain_count ()].  Always at least 1. *)
+
+val set_jobs : int -> unit
+(** Override the job count for subsequent maps ([n >= 1]; values above
+    the domain limit are clamped).  Intended for tests and CLI flags;
+    prefer [TRANSFUSION_JOBS] for deployment. *)
+
+val clear_jobs_override : unit -> unit
+(** Drop the [set_jobs] override, restoring environment/default sizing. *)
+
+val in_worker : unit -> bool
+(** True when the calling domain is one of the pool's workers (in which
+    case [map] runs sequentially). *)
+
+val map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map f arr] evaluates [f] on every element across the pool and
+    returns the results in input order.  [?jobs] caps the parallelism
+    for this call only; [?chunk] sets the number of consecutive
+    elements claimed per work-steal (default: input split into roughly
+    4 chunks per job for load balance — determinism never depends on
+    it).  Exceptions raised by [f] propagate to the caller (earliest
+    failing chunk wins); remaining chunks are abandoned. *)
+
+val map_list : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map] over a list, preserving order. *)
+
+val iter : ?jobs:int -> ?chunk:int -> ('a -> unit) -> 'a array -> unit
+(** [map] whose results are discarded (cache-priming sweeps). *)
+
+val map_reduce :
+  ?jobs:int -> ?chunk:int -> map:('a -> 'b) -> reduce:('c -> 'b -> 'c) -> 'c -> 'a array -> 'c
+(** [map_reduce ~map ~reduce init arr] = [Array.fold_left reduce init
+    (map ~map arr)]: the mapping fans out across the pool, the fold is
+    sequential and left-to-right, so the result is bit-identical to the
+    fully sequential evaluation even for non-associative [reduce]. *)
+
+(** Mutex-protected memo table for caches shared across domains.
+
+    Lookups and insertions are serialized under one lock; the compute
+    thunk runs {e outside} it, so distinct keys memoize concurrently.
+    Two domains racing on the same key may both compute it — the first
+    insertion wins and both observe the winning value, so callers see a
+    single canonical result (physical equality of repeated lookups
+    holds).  Safe (and cheap) under [TRANSFUSION_JOBS=1] too. *)
+module Memo : sig
+  type ('k, 'v) t
+
+  val create : ?size:int -> unit -> ('k, 'v) t
+  (** [size] is the initial bucket hint (default 64). *)
+
+  val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+  (** [find_or_compute t k f] returns the cached value for [k],
+      computing it with [f] on a miss.  [f]'s exceptions propagate and
+      nothing is cached. *)
+
+  val find_opt : ('k, 'v) t -> 'k -> 'v option
+  val length : ('k, 'v) t -> int
+  val clear : ('k, 'v) t -> unit
+end

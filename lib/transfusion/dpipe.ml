@@ -25,79 +25,190 @@ type t = {
 let node_latency arch ~load ~matrix node resource =
   load node /. Arch.effective_pes arch resource ~matrix:(matrix node)
 
-(* Feed order of (node, epoch) instances for the overlapped pipeline: the
-   second-stage work of epoch e shares its pipeline slot with the
-   first-stage work of epoch e+1 (paper Figure 7d). *)
-let instance_order ~stage ~order ~epochs =
-  let position = Hashtbl.create 16 in
-  List.iteri (fun i n -> Hashtbl.replace position n i) order;
-  let instances =
-    List.concat_map
-      (fun e -> List.map (fun n -> (e + stage n, Hashtbl.find position n, n, e)) order)
-      (List.init epochs (fun e -> e))
-  in
-  List.sort compare instances |> List.map (fun (_, _, n, e) -> (n, e))
-
-(* The DP of Eq. 43-46 over a fixed feed order. *)
-let run_dp arch ~load ~matrix ~mode g instances =
-  let time_1d = ref 0. and time_2d = ref 0. in
-  let time_of = function Arch.Pe_1d -> !time_1d | Arch.Pe_2d -> !time_2d in
-  let set_time r v = match r with Arch.Pe_1d -> time_1d := v | Arch.Pe_2d -> time_2d := v in
-  let end_of = Hashtbl.create 64 in
-  let assignments = ref [] in
-  let makespan = ref 0. in
-  List.iter
-    (fun (n, e) ->
-      let dep_ready =
-        List.fold_left
-          (fun acc p -> Float.max acc (Option.value ~default:0. (Hashtbl.find_opt end_of (p, e))))
-          0. (Dag.preds g n)
-      in
-      let candidates =
-        match mode with
-        | `Static assign -> [ assign n ]
-        | `Dp -> [ Arch.Pe_2d; Arch.Pe_1d ]
-      in
-      let finish r =
-        let start = Float.max (time_of r) dep_ready in
-        (start, start +. node_latency arch ~load ~matrix n r)
-      in
-      let best =
-        List.fold_left
-          (fun acc r ->
-            let start, endt = finish r in
-            match acc with
-            | Some (_, _, best_end) when best_end <= endt -> acc
-            | _ -> Some (r, start, endt))
-          None candidates
-      in
-      match best with
-      | None -> assert false
-      | Some (r, start, endt) ->
-          set_time r endt;
-          Hashtbl.replace end_of (n, e) endt;
-          makespan := Float.max !makespan endt;
-          assignments :=
-            { node = n; epoch = e; resource = r; start_cycle = start; end_cycle = endt }
-            :: !assignments)
-    instances;
-  (List.rev !assignments, !makespan)
-
 let candidate_static_latency arch ~load ~matrix node =
   node_latency arch ~load ~matrix node (if matrix node then Arch.Pe_2d else Arch.Pe_1d)
 
-let evaluate_candidate arch ~load ~matrix ~mode ~epochs g ~stage ~order =
-  let epochs_half = Int.max 1 (epochs / 2) in
-  let full = instance_order ~stage ~order ~epochs in
-  let half = instance_order ~stage ~order ~epochs:epochs_half in
-  let assignments, makespan = run_dp arch ~load ~matrix ~mode g full in
-  let _, makespan_half = run_dp arch ~load ~matrix ~mode g half in
-  let steady =
-    if epochs > epochs_half then
-      Float.max 0. ((makespan -. makespan_half) /. float_of_int (epochs - epochs_half))
-    else makespan
+(* Node data shared by every candidate of one [schedule] call.  Node ids
+   are arbitrary ints, so everything is reindexed onto a dense [0, n)
+   range once and the per-candidate DP runs on flat arrays only. *)
+type ctx = {
+  n_nodes : int;
+  ids : int array;  (* dense index -> node id *)
+  index_of : (int, int) Hashtbl.t;  (* node id -> dense index *)
+  preds : int array array;  (* dense index -> pred dense indices *)
+  lat1 : float array;  (* latency on the 1D array, by dense index *)
+  lat2 : float array;  (* latency on the 2D array, by dense index *)
+  minlat : float array;  (* smallest latency the mode allows, by index *)
+}
+
+let build_ctx arch ~load ~matrix ~mode g =
+  let ids = Array.of_list (Dag.nodes g) in
+  let n_nodes = Array.length ids in
+  let index_of = Hashtbl.create (2 * n_nodes) in
+  Array.iteri (fun i id -> Hashtbl.replace index_of id i) ids;
+  let lat1 = Array.map (fun id -> node_latency arch ~load ~matrix id Arch.Pe_1d) ids in
+  let lat2 = Array.map (fun id -> node_latency arch ~load ~matrix id Arch.Pe_2d) ids in
+  let preds =
+    Array.map
+      (fun id -> Array.of_list (List.map (Hashtbl.find index_of) (Dag.preds g id)))
+      ids
   in
-  (assignments, makespan, steady)
+  let minlat =
+    match mode with
+    | `Dp -> Array.init n_nodes (fun i -> Float.min lat1.(i) lat2.(i))
+    | `Static assign ->
+        Array.init n_nodes (fun i ->
+            match assign ids.(i) with Arch.Pe_1d -> lat1.(i) | Arch.Pe_2d -> lat2.(i))
+  in
+  { n_nodes; ids; index_of; preds; lat1; lat2; minlat }
+
+type eval_result =
+  | Pruned
+  | Done of { makespan : float; makespan_half : float; steady : float }
+
+(* The DP of Eq. 43-46, fed in wave order.
+
+   Instance (n, e) belongs to wave [e + stage n] (the second-stage work
+   of epoch e shares its pipeline slot with the first-stage work of
+   epoch e+1, paper Figure 7d); within a wave, instances run in
+   topological-order position.  This reproduces exactly the feed order
+   the former sort-based [instance_order] produced.
+
+   Both makespans come out of the single run.  The half-unroll DP over
+   [eh = max 1 (epochs / 2)] epochs shares every wave [< eh] with the
+   full run, and its final wave [eh] holds only the stage-1 instances of
+   epoch [eh - 1].  So at the wave-[eh] boundary we snapshot the
+   timelines and simulate just those remainder instances on the
+   snapshot (their predecessors are either earlier remainder instances
+   or wave [< eh] instances, both already identical to the half run's),
+   which yields the half-unroll makespan exactly — the full run then
+   continues undisturbed.
+
+   Branch-and-bound: once the half makespan is known, each remaining
+   instance must still occupy one of the two timelines for at least its
+   [minlat], so
+     makespan >= (t1 + t2 + remaining_min_busy) / 2
+   (the heavier timeline is at least the average — the "heavier stage
+   load over effective PEs" bound applied to both arrays at once).
+   That lower-bounds the steady interval; when it already exceeds the
+   incumbent beyond the tie-break tolerance the candidate cannot win
+   under [schedule]'s strict-improvement predicate and is abandoned
+   mid-run.  [prune_bound] returns the incumbent (infinity disables). *)
+let eval_candidate ctx ~mode ~epochs ~stage ~ord ~prune_bound ~record =
+  let n = ctx.n_nodes in
+  let smax = if Array.exists (fun s -> s = 1) stage then 1 else 0 in
+  let eh = Int.max 1 (epochs / 2) in
+  let t1 = ref 0. and t2 = ref 0. in
+  let mk = ref 0. in
+  let mk_half = ref 0. in
+  let end_of = Array.make (n * epochs) 0. in
+  let total_minlat = Array.fold_left ( +. ) 0. ctx.minlat in
+  let rem_busy = ref (float_of_int epochs *. total_minlat) in
+  let asg = if record then Array.make (n * epochs) None else [||] in
+  let asg_count = ref 0 in
+  let dep_ready_main i e =
+    let ps = ctx.preds.(i) in
+    let acc = ref 0. in
+    for k = 0 to Array.length ps - 1 do
+      let v = end_of.((ps.(k) * epochs) + e) in
+      if v > !acc then acc := v
+    done;
+    !acc
+  in
+  (* Pick the resource exactly as the old candidate fold did: [`Dp]
+     tries 2D then 1D and switches only on strictly earlier finish. *)
+  let pick i dep_ready rt1 rt2 =
+    match mode with
+    | `Static assign -> (
+        match assign ctx.ids.(i) with
+        | Arch.Pe_1d ->
+            let start = Float.max !rt1 dep_ready in
+            (Arch.Pe_1d, start, start +. ctx.lat1.(i))
+        | Arch.Pe_2d ->
+            let start = Float.max !rt2 dep_ready in
+            (Arch.Pe_2d, start, start +. ctx.lat2.(i)))
+    | `Dp ->
+        let s2 = Float.max !rt2 dep_ready in
+        let e2 = s2 +. ctx.lat2.(i) in
+        let s1 = Float.max !rt1 dep_ready in
+        let e1 = s1 +. ctx.lat1.(i) in
+        if e1 < e2 then (Arch.Pe_1d, s1, e1) else (Arch.Pe_2d, s2, e2)
+  in
+  let schedule_instance i e =
+    let r, start, endt = pick i (dep_ready_main i e) t1 t2 in
+    (match r with Arch.Pe_1d -> t1 := endt | Arch.Pe_2d -> t2 := endt);
+    end_of.((i * epochs) + e) <- endt;
+    if endt > !mk then mk := endt;
+    rem_busy := !rem_busy -. ctx.minlat.(i);
+    if record then begin
+      asg.(!asg_count) <-
+        Some { node = ctx.ids.(i); epoch = e; resource = r; start_cycle = start; end_cycle = endt };
+      incr asg_count
+    end
+  in
+  (* Replay the half run's final wave on a snapshot of the timelines:
+     stage-1 instances of epoch [eh - 1], in position order.  Writes go
+     to a private overlay so the full run is untouched. *)
+  let simulate_half_tail () =
+    let rt1 = ref !t1 and rt2 = ref !t2 in
+    let rmk = ref !mk in
+    let rem_end = Array.make n Float.nan in
+    for pos = 0 to n - 1 do
+      let i = ord.(pos) in
+      if stage.(i) = 1 then begin
+        let e = eh - 1 in
+        let ps = ctx.preds.(i) in
+        let dep_ready = ref 0. in
+        for k = 0 to Array.length ps - 1 do
+          let p = ps.(k) in
+          let v = if stage.(p) = 1 then rem_end.(p) else end_of.((p * epochs) + e) in
+          if v > !dep_ready then dep_ready := v
+        done;
+        let r, _, endt = pick i !dep_ready rt1 rt2 in
+        (match r with Arch.Pe_1d -> rt1 := endt | Arch.Pe_2d -> rt2 := endt);
+        rem_end.(i) <- endt;
+        if endt > !rmk then rmk := endt
+      end
+    done;
+    !rmk
+  in
+  let pruned = ref false in
+  let w = ref 0 in
+  let wmax = epochs - 1 + smax in
+  while (not !pruned) && !w <= wmax do
+    if eh < epochs && !w >= eh then begin
+      if !w = eh then mk_half := simulate_half_tail ();
+      let incumbent = prune_bound () in
+      if incumbent < Float.infinity then begin
+        let lb_mk = Float.max !mk ((!t1 +. !t2 +. !rem_busy) /. 2.) in
+        let lb_steady = (lb_mk -. !mk_half) /. float_of_int (epochs - eh) in
+        if lb_steady > incumbent +. 1e-9 then pruned := true
+      end
+    end;
+    if not !pruned then begin
+      for pos = 0 to n - 1 do
+        let i = ord.(pos) in
+        let e = !w - stage.(i) in
+        if e >= 0 && e < epochs then schedule_instance i e
+      done;
+      incr w
+    end
+  done;
+  if !pruned then (Pruned, [])
+  else begin
+    let steady =
+      if epochs > eh then Float.max 0. ((!mk -. !mk_half) /. float_of_int (epochs - eh))
+      else !mk
+    in
+    let assignments =
+      if record then
+        Array.to_list (Array.map (function Some a -> a | None -> assert false) asg)
+      else []
+    in
+    (Done { makespan = !mk; makespan_half = !mk_half; steady }, assignments)
+  end
+
+let no_prune () = Float.infinity
 
 let check g t =
   let expected = Dag.node_count g * t.epochs_unrolled in
@@ -136,6 +247,22 @@ let check g t =
         if overlap Arch.Pe_1d || overlap Arch.Pe_2d then Error "resource overlap"
         else Ok ()
 
+(* Shrink the incumbent steady interval shared across parallel candidate
+   evaluations.  Monotonically decreasing, so any candidate pruned
+   against it would also lose against the final best: pruning never
+   changes the winner, only skips provable losers. *)
+let rec shrink_incumbent inc v =
+  let cur = Atomic.get inc in
+  if v < cur && not (Atomic.compare_and_set inc cur v) then shrink_incumbent inc v
+
+let candidate_stage ctx partition =
+  let stage = Array.make ctx.n_nodes 0 in
+  (match partition with
+  | None -> ()
+  | Some p ->
+      List.iter (fun id -> stage.(Hashtbl.find ctx.index_of id) <- 1) p.Partition.second);
+  stage
+
 let schedule ?(epochs = 8) ?(partition_limit = 512) ?(eval_partitions = 16) ?(order_limit = 4)
     ?(mode = `Dp) ?(verify = false) arch ~load ~matrix g =
   if Dag.node_count g = 0 then invalid_arg "Dpipe.schedule: empty DAG";
@@ -159,49 +286,87 @@ let schedule ?(epochs = 8) ?(partition_limit = 512) ?(eval_partitions = 16) ?(or
   in
   let candidates = match selected with [] -> [ None ] | l -> l in
   let orders = Topo.all ~limit:order_limit g in
-  let best = ref None in
-  List.iter
-    (fun partition ->
-      let stage =
-        match partition with
-        | None -> fun _ -> 0
-        | Some p ->
-            let second = Hashtbl.create 16 in
-            List.iter (fun n -> Hashtbl.replace second n ()) p.Partition.second;
-            fun n -> if Hashtbl.mem second n then 1 else 0
-      in
-      List.iter
-        (fun order ->
-          let assignments, makespan, steady =
-            evaluate_candidate arch ~load ~matrix ~mode ~epochs g ~stage ~order
+  let ctx = build_ctx arch ~load ~matrix ~mode g in
+  let pairs =
+    Array.of_list
+      (List.concat_map
+         (fun partition ->
+           let stage = candidate_stage ctx partition in
+           List.map
+             (fun order ->
+               let ord = Array.of_list (List.map (Hashtbl.find ctx.index_of) order) in
+               (partition, order, stage, ord))
+             orders)
+         candidates)
+  in
+  let incumbent = Atomic.make Float.infinity in
+  let eval (partition, order, stage, ord) =
+    if verify then begin
+      (* Sanitizer mode: no pruning, and every candidate materializes
+         its assignments so it can be validated, not just the winner. *)
+      match
+        eval_candidate ctx ~mode ~epochs ~stage ~ord ~prune_bound:no_prune ~record:true
+      with
+      | Pruned, _ -> assert false
+      | Done { makespan; steady; _ }, assignments ->
+          let candidate =
+            {
+              partition;
+              order;
+              assignments;
+              epochs_unrolled = epochs;
+              makespan_cycles = makespan;
+              steady_interval_cycles = steady;
+              useful_2d_per_epoch = 0.;
+              useful_1d_per_epoch = 0.;
+            }
           in
-          (if verify then
-             let candidate =
-               {
-                 partition;
-                 order;
-                 assignments;
-                 epochs_unrolled = epochs;
-                 makespan_cycles = makespan;
-                 steady_interval_cycles = steady;
-                 useful_2d_per_epoch = 0.;
-                 useful_1d_per_epoch = 0.;
-               }
-             in
-             match check g candidate with
-             | Ok () -> ()
-             | Error e -> invalid_arg (Printf.sprintf "Dpipe.schedule: invalid candidate (%s)" e));
+          (match check g candidate with
+          | Ok () -> ()
+          | Error e -> invalid_arg (Printf.sprintf "Dpipe.schedule: invalid candidate (%s)" e));
+          Some (steady, makespan)
+    end
+    else
+      match
+        eval_candidate ctx ~mode ~epochs ~stage ~ord
+          ~prune_bound:(fun () -> Atomic.get incumbent)
+          ~record:false
+      with
+      | Pruned, _ -> None
+      | Done { makespan; steady; _ }, _ ->
+          shrink_incumbent incumbent steady;
+          Some (steady, makespan)
+  in
+  (* Each candidate DP is heavy, so claim them one at a time; the winner
+     is picked by an in-order fold below, so neither parallelism nor
+     pruning can change which candidate (first-best on ties) is chosen. *)
+  let results = Tf_parallel.map ~chunk:1 eval pairs in
+  let best = ref None in
+  Array.iteri
+    (fun idx res ->
+      match res with
+      | None -> ()
+      | Some (steady, makespan) ->
           let better =
             match !best with
             | None -> true
-            | Some (s, m, _, _, _) -> steady < s -. 1e-9 || (Float.abs (steady -. s) <= 1e-9 && makespan < m)
+            | Some (s, m, _) ->
+                steady < s -. 1e-9 || (Float.abs (steady -. s) <= 1e-9 && makespan < m)
           in
-          if better then best := Some (steady, makespan, assignments, partition, order))
-        orders)
-    candidates;
+          if better then best := Some (steady, makespan, idx))
+    results;
   match !best with
   | None -> assert false
-  | Some (steady, makespan, assignments, partition, order) ->
+  | Some (steady, makespan, idx) ->
+      let partition, order, stage, ord = pairs.(idx) in
+      (* Only the winner materializes its assignment list. *)
+      let assignments =
+        match
+          eval_candidate ctx ~mode ~epochs ~stage ~ord ~prune_bound:no_prune ~record:true
+        with
+        | Pruned, _ -> assert false
+        | Done _, assignments -> assignments
+      in
       let useful r =
         List.fold_left
           (fun acc a -> if a.resource = r then acc +. load a.node else acc)
@@ -239,3 +404,41 @@ let pp ppf t =
       Fmt.pf ppf "  n%d e%d %a [%.1f, %.1f)@." a.node a.epoch Arch.pp_resource a.resource
         a.start_cycle a.end_cycle)
     t.assignments
+
+module Private = struct
+  let steady_consistency_check ?(epochs = 8) ?(partition_limit = 512) ?(eval_partitions = 16)
+      ?(order_limit = 4) ?(mode = `Dp) arch ~load ~matrix g =
+    let ctx = build_ctx arch ~load ~matrix ~mode g in
+    let partitions = Partition.enumerate ~limit:partition_limit g in
+    let selected =
+      List.filteri (fun i _ -> i < eval_partitions) partitions |> List.map (fun p -> Some p)
+    in
+    let candidates = match selected with [] -> [ None ] | l -> l in
+    let orders = Topo.all ~limit:order_limit g in
+    let eh = Int.max 1 (epochs / 2) in
+    List.for_all
+      (fun partition ->
+        let stage = candidate_stage ctx partition in
+        List.for_all
+          (fun order ->
+            let ord = Array.of_list (List.map (Hashtbl.find ctx.index_of) order) in
+            let run e =
+              match
+                eval_candidate ctx ~mode ~epochs:e ~stage ~ord ~prune_bound:no_prune
+                  ~record:false
+              with
+              | Pruned, _ -> assert false
+              | Done { makespan; makespan_half; steady }, _ -> (makespan, makespan_half, steady)
+            in
+            let mk, mk_half, steady = run epochs in
+            (* Reference: two independent DP runs, as the pre-refactor
+               [evaluate_candidate] performed. *)
+            let mk_ref, _, _ = run eh in
+            let steady_ref =
+              if epochs > eh then Float.max 0. ((mk -. mk_ref) /. float_of_int (epochs - eh))
+              else mk
+            in
+            (epochs <= eh || mk_half = mk_ref) && steady = steady_ref)
+          orders)
+      candidates
+end

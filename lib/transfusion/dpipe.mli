@@ -58,9 +58,23 @@ val schedule :
 (** Defaults: [epochs = 8] unrolled, [partition_limit = 512] candidates of
     which the [eval_partitions = 16] most load-balanced are DP-evaluated,
     [order_limit = 4] topological orders each, [mode = `Dp].
+
+    The (partition × order) candidate grid is evaluated across the
+    {!Tf_parallel} domain pool, with branch-and-bound pruning against the
+    best steady interval found so far (a candidate whose lower bound —
+    remaining minimal busy time spread over both PE arrays — already
+    exceeds the incumbent is abandoned mid-DP).  Both are
+    result-invariant: the winner is selected by an in-order fold with the
+    same strict-improvement predicate as the sequential search, pruning
+    only discards provable losers, and the full- and half-unroll
+    makespans used for the steady interval come from a single DP pass
+    that reproduces the two-run computation exactly.  Results are
+    bit-identical whatever [TRANSFUSION_JOBS] is.
+
     [verify] (default false) is a sanitizer hook: every candidate schedule
     explored during the search is re-validated with {!check} as it is
-    produced, not just the winner.
+    produced, not just the winner; pruning is disabled so no candidate
+    escapes validation.
     @raise Invalid_argument on an empty or cyclic DAG, or — with
     [~verify:true] — when the DP emits an invalid candidate (an internal
     invariant violation). *)
@@ -81,3 +95,24 @@ val check : 'a Tf_dag.Dag.t -> t -> (unit, string) result
     two instances at once. *)
 
 val pp : t Fmt.t
+
+(**/**)
+
+(** Testing hooks — not part of the stable API. *)
+module Private : sig
+  val steady_consistency_check :
+    ?epochs:int ->
+    ?partition_limit:int ->
+    ?eval_partitions:int ->
+    ?order_limit:int ->
+    ?mode:[ `Dp | `Static of int -> Tf_arch.Arch.resource ] ->
+    Tf_arch.Arch.t ->
+    load:(int -> float) ->
+    matrix:(int -> bool) ->
+    'a Tf_dag.Dag.t ->
+    bool
+  (** For every candidate of the grid, check that the single-pass
+      (full + half) makespan computation agrees exactly with two
+      independent DP runs — the steady-interval estimate is unchanged
+      by the one-pass optimisation. *)
+end

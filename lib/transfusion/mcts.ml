@@ -25,11 +25,22 @@ let ucb1 ~exploration ~parent_visits node =
     (node.total_reward /. float_of_int node.visits)
     +. (exploration *. sqrt (log (float_of_int parent_visits) /. float_of_int node.visits))
 
-let search ?(exploration = Float.sqrt 2.) ~rng ~iterations problem =
+let search ?(exploration = Float.sqrt 2.) ?transposition ~rng ~iterations problem =
   let root = make_node (problem.actions []) in
   let best = ref None in
   let terminals = ref 0 in
   let tree_nodes = ref 1 in
+  let reward_of path =
+    match transposition with
+    | None -> problem.reward path
+    | Some tbl -> (
+        match Hashtbl.find_opt tbl path with
+        | Some r -> r
+        | None ->
+            let r = problem.reward path in
+            Hashtbl.add tbl path r;
+            r)
+  in
   let consider path reward =
     incr terminals;
     match !best with
@@ -78,7 +89,7 @@ let search ?(exploration = Float.sqrt 2.) ~rng ~iterations problem =
     ignore node;
     (* Rollout + evaluation. *)
     let terminal_rev = rollout path_rev in
-    let reward = problem.reward (List.rev terminal_rev) in
+    let reward = reward_of (List.rev terminal_rev) in
     consider terminal_rev reward;
     (* Backpropagation along the selected/expanded trail. *)
     List.iter

@@ -26,6 +26,7 @@ type stats = {
 
 val search :
   ?exploration:float ->
+  ?transposition:('action list, float) Hashtbl.t ->
   rng:Random.State.t ->
   iterations:int ->
   'action problem ->
@@ -33,4 +34,10 @@ val search :
 (** [search ~rng ~iterations problem] returns the best terminal path and
     its reward, or [None] when the root itself is terminal or no terminal
     was reached.  [exploration] is the UCB1 constant (default [sqrt 2]).
-    Deterministic for a given [rng] state. *)
+    [transposition], when given, caches rewards by terminal path so a
+    repeated rollout never re-invokes [problem.reward]; since [reward]
+    must be a pure function of the path this cannot change any result
+    (and [terminals_evaluated] still counts every rollout terminal,
+    cached or not).  Callers may pre-seed or reuse the table across
+    searches over the same problem.  Deterministic for a given [rng]
+    state. *)

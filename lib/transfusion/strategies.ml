@@ -243,25 +243,34 @@ let fusemax_assign (arch : Arch.t) cascade =
     else Arch.Pe_1d
 
 (* Memoised DPipe runs: the schedule depends only on (arch, model, seq,
-   batch, m0, mode tag). *)
-let dpipe_cache : (string, exec_summary) Hashtbl.t = Hashtbl.create 64
+   batch, m0, mode tag).  The table is shared by concurrent sweep
+   evaluations, hence the mutexed [Tf_parallel.Memo]. *)
+let dpipe_cache : (string, exec_summary) Tf_parallel.Memo.t = Tf_parallel.Memo.create ()
 
 let attention_tag = function
   | Self -> "self"
   | Causal_self -> "causal"
   | Cross { kv_len } -> Printf.sprintf "cross%d" kv_len
 
+(* Presets share names with ablation variants that tweak individual
+   parameters (e.g. [Ablations.with_effs]), so the key must fingerprint
+   every arch field the schedule reads — keying on the name alone made
+   distinct archs collide and the cached result depend on evaluation
+   order. *)
+let arch_fingerprint (a : Arch.t) =
+  Printf.sprintf "%s:%d:%d:%h:%h:%h:%h:%d" a.Arch.name
+    (Pe_array.num_pes a.Arch.pe_2d)
+    (Pe_array.num_pes a.Arch.pe_1d)
+    a.Arch.vector_eff_2d a.Arch.matrix_eff_1d a.Arch.clock_hz a.Arch.dram_bw_bytes_per_s
+    a.Arch.buffer_bytes
+
 let cached_pipelined ?mode ~tag ctx cascade =
   let key =
-    Printf.sprintf "%s/%s/%d/%d/%d/%s/%s/%b" ctx.arch.Arch.name ctx.w.model.Model.name
-      ctx.w.seq_len ctx.w.batch ctx.m0 tag (attention_tag ctx.attention) ctx.include_ffn
+    Printf.sprintf "%s/%s/%d/%d/%d/%s/%s/%b" (arch_fingerprint ctx.arch)
+      ctx.w.model.Model.name ctx.w.seq_len ctx.w.batch ctx.m0 tag
+      (attention_tag ctx.attention) ctx.include_ffn
   in
-  match Hashtbl.find_opt dpipe_cache key with
-  | Some summary -> summary
-  | None ->
-      let summary = pipelined_exec ?mode ctx cascade in
-      Hashtbl.add dpipe_cache key summary;
-      summary
+  Tf_parallel.Memo.find_or_compute dpipe_cache key (fun () -> pipelined_exec ?mode ctx cascade)
 
 (* ------------------------------------------------------------------ *)
 (* Traffic assembly                                                    *)
@@ -646,3 +655,7 @@ let speedup ~baseline r = baseline.latency.Latency.total_s /. r.latency.Latency.
 
 let energy_ratio ~baseline r =
   Energy.total_pj r.energy /. Energy.total_pj baseline.energy
+
+module Private = struct
+  let arch_fingerprint = arch_fingerprint
+end

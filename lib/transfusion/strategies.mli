@@ -97,3 +97,13 @@ val energy_ratio : baseline:result -> result -> float
 (** Energy of [r] relative to the baseline (< 1 is better). *)
 
 val pp_name : t Fmt.t
+
+(**/**)
+
+(* Test-only access. *)
+module Private : sig
+  val arch_fingerprint : Tf_arch.Arch.t -> string
+  (** The architecture identity used to key the shared DPipe cache.
+      Must distinguish any two archs whose parameters differ, even when
+      they share a [name] (ablation variants do). *)
+end

@@ -178,7 +178,23 @@ let log_src = Logs.Src.create "transfusion.tileseek" ~doc:"TileSeek tiling searc
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* Config-keyed memo: the caller's cost function re-runs the full cost
+   model (the expensive Timeloop/Accelergy role), and the seeding passes,
+   the grid sweep and MCTS rollouts revisit the same configurations many
+   times over.  One search call runs on one domain, so a plain Hashtbl
+   suffices. *)
+let memoize_cost f =
+  let tbl : (config, float) Hashtbl.t = Hashtbl.create 256 in
+  fun c ->
+    match Hashtbl.find_opt tbl c with
+    | Some v -> v
+    | None ->
+        let v = f c in
+        Hashtbl.add tbl c v;
+        v
+
 let pareto ?(iterations = 200) arch w ~latency ~energy () =
+  let latency = memoize_cost latency and energy = memoize_cost energy in
   (* Candidate pool: the full grid plus random completions. *)
   let base = fallback arch w in
   let grow = grow arch w in
@@ -223,6 +239,7 @@ let pareto ?(iterations = 200) arch w ~latency ~energy () =
   |> List.sort (fun (_, l1, _) (_, l2, _) -> compare l1 l2)
 
 let search ?(iterations = 400) ?(seed = 42) arch w ~evaluate () =
+  let evaluate = memoize_cost evaluate in
   let seeds =
     grid_seed arch w ~evaluate
     :: List.map (fun c -> (c, evaluate c)) (greedy_variants arch w)
@@ -252,7 +269,8 @@ let search ?(iterations = 400) ?(seed = 42) arch w ~evaluate () =
       if cost <= 0. then 0. else ref_cost /. cost
   in
   let rng = Random.State.make [| seed |] in
-  let best, stats = Mcts.search ~rng ~iterations { actions; reward } in
+  let transposition = Hashtbl.create 256 in
+  let best, stats = Mcts.search ~transposition ~rng ~iterations { actions; reward } in
   (* The hand heuristic competes with the search result: MCTS must beat
      it to displace it (reward 1.0 = the heuristic's own cost). *)
   let result =

@@ -70,4 +70,9 @@ val search :
     ([iterations] defaults to 400; [seed] to 42) and returns the best
     feasible configuration.  [evaluate] maps a feasible configuration to a
     positive cost (lower is better); the reward is the fallback's cost over
-    the candidate's.  Deterministic for fixed seed. *)
+    the candidate's.  [evaluate] must be deterministic: each call memoizes
+    it per configuration (and the MCTS rewards per terminal path), so the
+    grid seeding, the greedy variants and repeated rollouts never re-run
+    the cost model on a configuration already scored.  Deterministic for
+    fixed seed.  [pareto] memoizes its [latency]/[energy] objectives the
+    same way. *)

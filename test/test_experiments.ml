@@ -27,6 +27,36 @@ let test_memo () =
   let b = E.Exp_common.evaluate ~tileseek_iterations:40 arch w Strategies.Fusemax in
   Alcotest.(check bool) "memoised (physical equality)" true (a == b)
 
+let test_memo_key_includes_budget () =
+  (* Regression: the cache key once omitted the TileSeek budget, so an
+     evaluation at one budget was served to callers asking for another.
+     Distinct budgets must produce distinct cache entries. *)
+  let arch = Tf_arch.Presets.edge in
+  let w = Workload.v Presets.t5 ~seq_len:1024 in
+  let a = E.Exp_common.evaluate ~tileseek_iterations:40 arch w Strategies.Transfusion in
+  let b = E.Exp_common.evaluate ~tileseek_iterations:12 arch w Strategies.Transfusion in
+  Alcotest.(check bool) "different budgets are distinct entries" true (not (a == b));
+  let a' = E.Exp_common.evaluate ~tileseek_iterations:40 arch w Strategies.Transfusion in
+  Alcotest.(check bool) "original budget still cached" true (a == a')
+
+let test_arch_fingerprint () =
+  (* Regression: the DPipe cache keyed archs by [name] alone, so ablation
+     variants sharing a preset's name collided and the cached schedule
+     depended on evaluation order. *)
+  let base = Tf_arch.Presets.edge in
+  let variant =
+    Tf_arch.Arch.v ~name:base.Tf_arch.Arch.name ~clock_hz:base.Tf_arch.Arch.clock_hz
+      ~element_bytes:base.Tf_arch.Arch.element_bytes
+      ~vector_eff_2d:base.Tf_arch.Arch.vector_eff_2d ~matrix_eff_1d:0.5
+      ~energy:base.Tf_arch.Arch.energy ~pe_2d:base.Tf_arch.Arch.pe_2d
+      ~pe_1d:base.Tf_arch.Arch.pe_1d ~buffer_bytes:base.Tf_arch.Arch.buffer_bytes
+      ~dram_bw_bytes_per_s:base.Tf_arch.Arch.dram_bw_bytes_per_s ()
+  in
+  let fp = Strategies.Private.arch_fingerprint in
+  Alcotest.(check string) "same arch, same fingerprint" (fp base) (fp base);
+  Alcotest.(check bool) "same name, different eff, distinct fingerprints" true
+    (fp base <> fp variant)
+
 let test_fig8_model_wise () =
   let points = E.Fig8_speedup.model_wise ~seq:1024 Tf_arch.Presets.edge in
   Alcotest.(check int) "five models" 5 (List.length points);
@@ -141,6 +171,8 @@ let () =
           quick "geomean" test_geomean;
           quick "sequence sweep" test_seq_sweep;
           quick "memoisation" test_memo;
+          quick "memo key includes budget" test_memo_key_includes_budget;
+          quick "arch fingerprint" test_arch_fingerprint;
         ] );
       ( "figures",
         [

@@ -1,0 +1,197 @@
+(* Tests for the Tf_parallel domain pool: order preservation, exception
+   propagation, sequential degradation, the memo table, and the
+   determinism contract on the real evaluation paths (Exp_common sweeps
+   and Dpipe.schedule must be bit-identical under any pool size). *)
+
+module P = Tf_parallel
+module Dpipe = Transfusion.Dpipe
+module Strategies = Transfusion.Strategies
+module Dag = Tf_dag.Dag
+module E = Tf_experiments
+open Tf_workloads
+
+exception Boom of int
+
+let test_order_preserved () =
+  let n = 1000 in
+  let input = Array.init n (fun i -> i) in
+  let f i = (i * i) + 7 in
+  let expected = Array.map f input in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d matches sequential" jobs)
+        expected
+        (P.map ~jobs f input))
+    [ 1; 2; 4; 8 ];
+  Alcotest.(check (array int)) "tiny chunks" expected (P.map ~jobs:4 ~chunk:1 f input);
+  Alcotest.(check (array int)) "oversized chunk" expected (P.map ~jobs:4 ~chunk:10_000 f input);
+  Alcotest.(check (array int)) "empty input" [||] (P.map ~jobs:4 f [||]);
+  Alcotest.(check (list int)) "map_list" (List.init 10 (fun i -> i + 1))
+    (P.map_list ~jobs:4 (fun i -> i + 1) (List.init 10 (fun i -> i)))
+
+let test_exception_propagates () =
+  let input = Array.init 64 (fun i -> i) in
+  let attempt jobs =
+    try
+      ignore (P.map ~jobs ~chunk:1 (fun i -> if i = 17 then raise (Boom i) else i) input : int array);
+      Alcotest.fail "expected Boom to propagate"
+    with Boom i -> Alcotest.(check int) "payload survives" 17 i
+  in
+  attempt 1;
+  attempt 4;
+  (* The pool must stay usable after a failed batch. *)
+  Alcotest.(check (array int)) "pool survives failure"
+    (Array.map succ input)
+    (P.map ~jobs:4 succ input)
+
+let test_jobs_one_is_sequential () =
+  (* With one job the calling domain does all the work in input order:
+     observable through a side effect log. *)
+  let log = ref [] in
+  let out = P.map ~jobs:1 (fun i -> log := i :: !log; i * 2) (Array.init 20 (fun i -> i)) in
+  Alcotest.(check (list int)) "visited in order" (List.init 20 (fun i -> 19 - i)) !log;
+  Alcotest.(check (array int)) "results" (Array.init 20 (fun i -> 2 * i)) out;
+  Alcotest.(check bool) "main domain is not a worker" false (P.in_worker ())
+
+let test_map_reduce_deterministic () =
+  (* Float sum is non-associative, so this only passes because the
+     reduction is a sequential left fold over in-order results. *)
+  let input = Array.init 2000 (fun i -> 1. /. float_of_int (i + 1)) in
+  let expected = Array.fold_left ( +. ) 0. input in
+  List.iter
+    (fun jobs ->
+      let got = P.map_reduce ~jobs ~chunk:3 ~map:Fun.id ~reduce:( +. ) 0. input in
+      Alcotest.(check bool)
+        (Printf.sprintf "bit-identical sum at jobs=%d" jobs)
+        true
+        (Int64.equal (Int64.bits_of_float expected) (Int64.bits_of_float got)))
+    [ 1; 2; 4 ]
+
+let test_nested_map () =
+  (* A map launched from inside a map degrades to sequential instead of
+     deadlocking on the engine; results are still correct. *)
+  let out =
+    P.map ~jobs:4 ~chunk:1
+      (fun i -> Array.fold_left ( + ) 0 (P.map ~jobs:4 (fun j -> i + j) (Array.init 5 Fun.id)))
+      (Array.init 8 (fun i -> i))
+  in
+  Alcotest.(check (array int)) "nested results" (Array.init 8 (fun i -> (5 * i) + 10)) out
+
+let test_memo () =
+  let m = P.Memo.create () in
+  let computes = ref 0 in
+  let get k = P.Memo.find_or_compute m k (fun () -> incr computes; k * 10) in
+  Alcotest.(check int) "first compute" 30 (get 3);
+  Alcotest.(check int) "cached" 30 (get 3);
+  Alcotest.(check int) "computed once" 1 !computes;
+  Alcotest.(check (option int)) "find_opt hit" (Some 30) (P.Memo.find_opt m 3);
+  Alcotest.(check (option int)) "find_opt miss" None (P.Memo.find_opt m 4);
+  Alcotest.(check int) "length" 1 (P.Memo.length m);
+  P.Memo.clear m;
+  Alcotest.(check int) "cleared" 0 (P.Memo.length m);
+  (* Concurrent same-key computes race, but every caller sees the one
+     stored value. *)
+  let shared = P.Memo.create () in
+  let results =
+    P.map ~jobs:4 ~chunk:1
+      (fun _ -> P.Memo.find_or_compute shared "k" (fun () -> ref 0))
+      (Array.init 16 (fun i -> i))
+  in
+  Array.iter
+    (fun r -> Alcotest.(check bool) "all callers share one value" true (r == results.(0)))
+    results
+
+let toy_arch =
+  Tf_arch.Arch.v ~name:"ptoy" ~clock_hz:1e9 ~vector_eff_2d:0.5 ~matrix_eff_1d:0.5
+    ~pe_2d:(Tf_arch.Pe_array.two_d 10 10) ~pe_1d:(Tf_arch.Pe_array.one_d 10)
+    ~buffer_bytes:(1 lsl 20) ~dram_bw_bytes_per_s:1e9 ()
+
+let diamond =
+  Dag.of_edges
+    [ (0, "qk"); (1, "sm"); (2, "av"); (3, "out") ]
+    [ (0, 1); (1, 2); (2, 3) ]
+
+let load4 = function 0 -> 4000. | 1 -> 300. | 2 -> 3500. | _ -> 900.
+let matrix4 = function 1 -> false | _ -> true
+
+let schedules_equal (a : Dpipe.t) (b : Dpipe.t) =
+  a.Dpipe.partition = b.Dpipe.partition
+  && a.Dpipe.order = b.Dpipe.order
+  && a.Dpipe.assignments = b.Dpipe.assignments
+  && a.Dpipe.makespan_cycles = b.Dpipe.makespan_cycles
+  && a.Dpipe.steady_interval_cycles = b.Dpipe.steady_interval_cycles
+
+let with_jobs jobs f =
+  P.set_jobs jobs;
+  Fun.protect ~finally:P.clear_jobs_override f
+
+let test_dpipe_schedule_deterministic () =
+  let run () = Dpipe.schedule toy_arch ~load:load4 ~matrix:matrix4 diamond in
+  let seq = with_jobs 1 run in
+  let par = with_jobs 4 run in
+  Alcotest.(check bool) "parallel schedule identical to sequential" true
+    (schedules_equal seq par);
+  (* Pruning must only discard losers: the verified (prune-free) search
+     picks the same winner. *)
+  let verified = with_jobs 4 (fun () -> Dpipe.schedule ~verify:true toy_arch ~load:load4 ~matrix:matrix4 diamond) in
+  Alcotest.(check bool) "pruned winner matches verified winner" true
+    (schedules_equal seq verified)
+
+let test_dpipe_half_makespan_consistency () =
+  (* The single-pass full+half evaluation agrees exactly with two
+     independent DP runs on every candidate of the grid. *)
+  Alcotest.(check bool) "diamond DAG" true
+    (Dpipe.Private.steady_consistency_check toy_arch ~load:load4 ~matrix:matrix4 diamond);
+  Alcotest.(check bool) "mha cascade DAG" true
+    (let cascade = Transfusion.Cascades.mha () in
+     let w = Workload.v Presets.t5 ~seq_len:1024 in
+     let totals = Array.of_list (Transfusion.Layer_costs.op_totals w cascade) in
+     let g = Tf_einsum.Cascade.to_dag cascade in
+     let load n = totals.(n).Transfusion.Layer_costs.total /. 256. in
+     let matrix n = Tf_einsum.Einsum.is_matrix_op totals.(n).Transfusion.Layer_costs.op in
+     Dpipe.Private.steady_consistency_check toy_arch ~load ~matrix g)
+
+let results_equal (a : Strategies.result) (b : Strategies.result) =
+  a.Strategies.latency = b.Strategies.latency
+  && a.Strategies.energy = b.Strategies.energy
+  && a.Strategies.traffic = b.Strategies.traffic
+  && a.Strategies.tiling = b.Strategies.tiling
+
+let test_sweep_deterministic () =
+  (* The real acceptance property: an Exp_common sweep primed in
+     parallel yields results bit-identical to the sequential run. *)
+  let archs = [ Tf_arch.Presets.edge ] in
+  let workloads = [ Workload.v Presets.t5 ~seq_len:1024; Workload.v Presets.bert ~seq_len:1024 ] in
+  let points = E.Exp_common.sweep_points archs workloads in
+  let collect () =
+    List.map (fun (a, w, s) -> E.Exp_common.evaluate ~tileseek_iterations:20 a w s) points
+  in
+  E.Exp_common.reset_cache ();
+  let seq = with_jobs 1 (fun () -> E.Exp_common.prime ~tileseek_iterations:20 points; collect ()) in
+  E.Exp_common.reset_cache ();
+  let par = with_jobs 4 (fun () -> E.Exp_common.prime ~tileseek_iterations:20 points; collect ()) in
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "point identical across pool sizes" true (results_equal a b))
+    seq par
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "tf_parallel"
+    [
+      ( "pool",
+        [
+          quick "order preserved" test_order_preserved;
+          quick "exception propagation" test_exception_propagates;
+          quick "jobs=1 is sequential" test_jobs_one_is_sequential;
+          quick "map_reduce left fold" test_map_reduce_deterministic;
+          quick "nested map degrades" test_nested_map;
+        ] );
+      ("memo", [ quick "memo table" test_memo ]);
+      ( "determinism",
+        [
+          quick "dpipe schedule" test_dpipe_schedule_deterministic;
+          quick "dpipe half-makespan single pass" test_dpipe_half_makespan_consistency;
+          quick "exp_common sweep" test_sweep_deterministic;
+        ] );
+    ]
