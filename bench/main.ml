@@ -13,7 +13,11 @@
    Pass --quick to use the reduced sequence sweep.  Pass --json PATH to
    additionally write machine-readable timings (per-figure wall seconds,
    per-microbenchmark ns/run, the domain count) for BENCH_*.json perf
-   trajectory tracking; the schema is documented in EXPERIMENTS.md. *)
+   trajectory tracking; the schema is documented in EXPERIMENTS.md.
+   Pass --obs to enable the Tf_obs metrics registry during the run; the
+   snapshot is embedded in the JSON under "metrics" (without --obs the
+   section is present but empty, and the run is untouched — perf
+   baselines stay comparable). *)
 
 open Bechamel
 open Toolkit
@@ -21,6 +25,10 @@ module E = Tf_experiments
 module Strategies = Transfusion.Strategies
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+let obs = Array.exists (fun a -> a = "--obs") Sys.argv
+
+let () = if obs then Tf_obs.set_enabled true
 
 let json_path =
   let n = Array.length Sys.argv in
@@ -236,6 +244,23 @@ let microbench () =
 
 let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.6g" f
 
+(* The Tf_obs snapshot as JSON object entries.  Metric names are plain
+   ASCII ([a-z0-9._]), so no escaping is needed. *)
+let metrics_entries () =
+  if not obs then []
+  else
+    List.map
+      (fun (name, v) ->
+        let value =
+          match v with
+          | Tf_obs.Counter_v n -> string_of_int n
+          | Tf_obs.Gauge_v g -> json_float g
+          | Tf_obs.Histogram_v { count; sum; _ } ->
+              Printf.sprintf "{\"count\": %d, \"sum\": %s}" count (json_float sum)
+        in
+        Printf.sprintf "\"%s\": %s" name value)
+      (Tf_obs.snapshot ())
+
 let write_json path ~steps ~micro =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf "{\n";
@@ -259,7 +284,15 @@ let write_json path ~steps ~micro =
            (match r2 with Some r -> json_float r | None -> "null")
            (if i = List.length micro - 1 then "" else ",")))
     micro;
-  Buffer.add_string buf "  ]\n";
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"metrics\": {\n";
+  let entries = metrics_entries () in
+  List.iteri
+    (fun i e ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %s%s\n" e (if i = List.length entries - 1 then "" else ",")))
+    entries;
+  Buffer.add_string buf "  }\n";
   Buffer.add_string buf "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);

@@ -59,6 +59,41 @@ let iterations_arg =
 
 let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sequence sweep.")
 
+(* Observability wrapper shared by every subcommand: [--trace FILE]
+   and/or [--metrics] turn {!Tf_obs} on around the run, then write the
+   Chrome trace and/or print the metrics snapshot.  Without either flag
+   the run is untouched (instrumentation stays a single atomic load). *)
+let obs_term =
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a span trace of the run and write it to $(docv) as Chrome trace-event JSON \
+             (open in chrome://tracing or Perfetto).")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ] ~doc:"Print the metrics registry snapshot after the run.")
+  in
+  let make trace metrics run =
+    if trace <> None || metrics then Tf_obs.set_enabled true;
+    if trace <> None then Tf_obs.Trace.start ();
+    Fun.protect
+      ~finally:(fun () ->
+        (match trace with
+        | Some path ->
+            Tf_obs.Trace.stop ();
+            Tf_obs.Trace.write path;
+            Fmt.epr "trace written to %s@." path
+        | None -> ());
+        if metrics then print_string (Tf_obs.render_snapshot (Tf_obs.snapshot ())))
+      run
+  in
+  Term.(const make $ trace_arg $ metrics_arg)
+
 let workload model seq batch = Tf_workloads.Workload.v ~batch model ~seq_len:seq
 
 let print_result (r : Strategies.result) =
@@ -75,7 +110,8 @@ let print_result (r : Strategies.result) =
   | None -> ())
 
 let eval_cmd =
-  let run arch model seq batch strategy iterations =
+  let run obs arch model seq batch strategy iterations =
+    obs @@ fun () ->
     let w = workload model seq batch in
     print_result (Strategies.evaluate ~tileseek_iterations:iterations arch w strategy)
   in
@@ -87,20 +123,22 @@ let eval_cmd =
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate one scheduling strategy on one workload")
-    Term.(const run $ arch_arg $ model_arg $ seq_arg $ batch_arg $ strategy_arg $ iterations_arg)
+    Term.(const run $ obs_term $ arch_arg $ model_arg $ seq_arg $ batch_arg $ strategy_arg $ iterations_arg)
 
 let sweep_cmd =
-  let run arch model quick =
+  let run obs arch model quick =
+    obs @@ fun () ->
     Tf_experiments.Fig8_speedup.print
       ~title:(Printf.sprintf "Speedup over Unfused: %s" model.Tf_workloads.Model.name)
       (Tf_experiments.Fig8_speedup.scaling ~quick [ arch ] model)
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Speedup table across the sequence sweep")
-    Term.(const run $ arch_arg $ model_arg $ quick_arg)
+    Term.(const run $ obs_term $ arch_arg $ model_arg $ quick_arg)
 
 let search_cmd =
-  let run arch model seq batch iterations =
+  let run obs arch model seq batch iterations =
+    obs @@ fun () ->
     let w = workload model seq batch in
     let evaluate config =
       let phases, _ = Strategies.phases ~tiling:config arch w Strategies.Transfusion in
@@ -120,10 +158,11 @@ let search_cmd =
   in
   Cmd.v
     (Cmd.info "search" ~doc:"Run TileSeek outer-tiling search")
-    Term.(const run $ arch_arg $ model_arg $ seq_arg $ batch_arg $ iterations_arg)
+    Term.(const run $ obs_term $ arch_arg $ model_arg $ seq_arg $ batch_arg $ iterations_arg)
 
 let schedule_cmd =
-  let run arch model seq batch =
+  let run obs arch model seq batch =
+    obs @@ fun () ->
     let w = workload model seq batch in
     let cascade = Transfusion.Cascades.full_layer model.Tf_workloads.Model.activation in
     let totals = Transfusion.Layer_costs.op_totals w cascade in
@@ -155,10 +194,11 @@ let schedule_cmd =
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Show the DPipe schedule of the fused layer")
-    Term.(const run $ arch_arg $ model_arg $ seq_arg $ batch_arg)
+    Term.(const run $ obs_term $ arch_arg $ model_arg $ seq_arg $ batch_arg)
 
 let figures_cmd =
-  let run quick =
+  let run obs quick =
+    obs @@ fun () ->
     let module E = Tf_experiments in
     let archs = [ Tf_arch.Presets.cloud; Tf_arch.Presets.edge ] in
     let llama3 = Tf_workloads.Presets.llama3 in
@@ -185,10 +225,13 @@ let figures_cmd =
     Tf_experiments.Exp_common.print_header "Headline geomeans (Section 6.2)";
     List.iter (fun arch -> E.Headline.print (E.Headline.compute ~quick arch)) archs
   in
-  Cmd.v (Cmd.info "figures" ~doc:"Regenerate the paper's figures") Term.(const run $ quick_arg)
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Regenerate the paper's figures")
+    Term.(const run $ obs_term $ quick_arg)
 
 let ablations_cmd =
-  let run model =
+  let run obs model =
+    obs @@ fun () ->
     let module E = Tf_experiments in
     E.Ablations.print_dpipe (E.Ablations.dpipe model);
     E.Ablations.print_tileseek (E.Ablations.tileseek model);
@@ -198,10 +241,11 @@ let ablations_cmd =
   in
   Cmd.v
     (Cmd.info "ablations" ~doc:"Run the design-choice ablation studies")
-    Term.(const run $ model_arg)
+    Term.(const run $ obs_term $ model_arg)
 
 let structures_cmd =
-  let run arch model seq =
+  let run obs arch model seq =
+    obs @@ fun () ->
     Tf_experiments.Exp_structures.print
       ~title:
         (Printf.sprintf "Encoder / decoder / encoder-decoder: %s on %s"
@@ -210,10 +254,11 @@ let structures_cmd =
   in
   Cmd.v
     (Cmd.info "structures" ~doc:"Evaluate encoder/decoder/hybrid structures")
-    Term.(const run $ arch_arg $ model_arg $ seq_arg)
+    Term.(const run $ obs_term $ arch_arg $ model_arg $ seq_arg)
 
 let cascade_cmd =
-  let run arch file extents_spec =
+  let run obs arch file extents_spec =
+    obs @@ fun () ->
     let contents =
       let ic = open_in file in
       Fun.protect
@@ -277,10 +322,11 @@ let cascade_cmd =
   in
   Cmd.v
     (Cmd.info "cascade" ~doc:"Parse, analyze and DPipe-schedule a cascade file")
-    Term.(const run $ arch_arg $ file_arg $ extent_arg)
+    Term.(const run $ obs_term $ arch_arg $ file_arg $ extent_arg)
 
 let pareto_cmd =
-  let run arch model seq batch iterations =
+  let run obs arch model seq batch iterations =
+    obs @@ fun () ->
     let w = workload model seq batch in
     let measure config =
       let phases, _ = Strategies.phases ~tiling:config arch w Strategies.Transfusion in
@@ -307,10 +353,28 @@ let pareto_cmd =
   in
   Cmd.v
     (Cmd.info "pareto" ~doc:"Latency/energy Pareto front of TransFusion tilings")
-    Term.(const run $ arch_arg $ model_arg $ seq_arg $ batch_arg $ iterations_arg)
+    Term.(const run $ obs_term $ arch_arg $ model_arg $ seq_arg $ batch_arg $ iterations_arg)
+
+let headline_cmd =
+  let run obs arch full model =
+    obs @@ fun () ->
+    Tf_experiments.Exp_common.print_header
+      (Printf.sprintf "Headline geomeans (Section 6.2): %s on %s" model.Tf_workloads.Model.name
+         arch.Tf_arch.Arch.name);
+    Tf_experiments.Headline.print
+      (Tf_experiments.Headline.compute ~quick:(not full) ~model arch)
+  in
+  let full_arg =
+    Arg.(value & flag & info [ "full" ] ~doc:"Use the full 1K-1M sequence sweep (default: quick).")
+  in
+  Cmd.v
+    (Cmd.info "headline"
+       ~doc:"Compute the Section 6.2 headline geomean speedups over the baselines")
+    Term.(const run $ obs_term $ arch_arg $ full_arg $ model_arg)
 
 let selftest_cmd =
-  let run full =
+  let run obs full =
+    obs @@ fun () ->
     let checks = Tf_experiments.Selftest.run ~quick:(not full) () in
     Tf_experiments.Selftest.print checks;
     if not (Tf_experiments.Selftest.all_passed checks) then exit 1
@@ -318,10 +382,11 @@ let selftest_cmd =
   let full_arg = Arg.(value & flag & info [ "full" ] ~doc:"Run on every architecture preset.") in
   Cmd.v
     (Cmd.info "selftest" ~doc:"Run the cross-cutting model invariant battery")
-    Term.(const run $ full_arg)
+    Term.(const run $ obs_term $ full_arg)
 
 let lint_cmd =
-  let run full =
+  let run obs full =
+    obs @@ fun () ->
     let diags = Tf_analysis.Verify.check_presets ~quick:(not full) () in
     Fmt.pr "%a@." Tf_analysis.Diagnostic.pp_list diags;
     if Tf_analysis.Diagnostic.has_errors diags then exit 1
@@ -332,10 +397,11 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Statically verify built-in cascades, tilings and DPipe schedules")
-    Term.(const run $ full_arg)
+    Term.(const run $ obs_term $ full_arg)
 
 let export_cmd =
-  let run dir quick =
+  let run obs dir quick =
+    obs @@ fun () ->
     let module E = Tf_experiments in
     let archs = [ Tf_arch.Presets.cloud; Tf_arch.Presets.edge ] in
     let llama3 = Tf_workloads.Presets.llama3 in
@@ -377,7 +443,7 @@ let export_cmd =
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Write figure series as CSV files")
-    Term.(const run $ dir_arg $ quick_arg)
+    Term.(const run $ obs_term $ dir_arg $ quick_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -392,6 +458,7 @@ let () =
          structures_cmd;
          cascade_cmd;
          pareto_cmd;
+         headline_cmd;
          selftest_cmd;
          lint_cmd;
          export_cmd;

@@ -7,7 +7,12 @@ type breakdown = {
   compute_pj : float;
 }
 
+let m_evaluations =
+  Tf_obs.Counter.create ~help:"Energy.of_traffic calls (energy-model runs)"
+    "costmodel.energy_evaluations_total"
+
 let of_traffic (arch : Arch.t) (t : Traffic.t) =
+  Tf_obs.Counter.incr m_evaluations;
   let e = arch.energy in
   {
     dram_pj = Traffic.dram_elements t *. e.Energy_table.dram_access_pj;

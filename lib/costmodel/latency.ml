@@ -15,8 +15,13 @@ type t = {
   util_1d : float;
 }
 
+let m_evaluations =
+  Tf_obs.Counter.create ~help:"Latency.evaluate calls (full latency-model runs)"
+    "costmodel.latency_evaluations_total"
+
 let evaluate arch phases =
   if phases = [] then invalid_arg "Latency.evaluate: no phases";
+  Tf_obs.Counter.incr m_evaluations;
   let results =
     List.map
       (fun (phase : Phase.t) ->

@@ -1,9 +1,37 @@
 open Tf_workloads
 module Strategies = Transfusion.Strategies
 
+(* Structured summary-cache key.  An earlier revision concatenated
+   names and numbers into one string, which keyed distinct archs by
+   name alone (ablation variants share preset names) and invited
+   separator collisions — the same class of bug fixed twice in PR 2.
+   Every field the evaluation depends on is fingerprinted here:
+   [arch] via [Strategies.Private.arch_fingerprint] (all performance
+   fields, not just the name) and the model as its full record, so any
+   tweaked variant hashes to a fresh key structurally. *)
+type cache_key = {
+  key_arch : string;
+  key_model : Model.t;
+  key_seq_len : int;
+  key_batch : int;
+  key_strategy : Strategies.t;
+  key_budget : int;  (* TileSeek iteration budget *)
+}
+
+let cache_key ~tileseek_iterations (arch : Tf_arch.Arch.t) (w : Workload.t) strategy =
+  {
+    key_arch = Strategies.Private.arch_fingerprint arch;
+    key_model = w.model;
+    key_seq_len = w.seq_len;
+    key_batch = w.batch;
+    key_strategy = strategy;
+    key_budget = tileseek_iterations;
+  }
+
 (* Shared across the domain pool by the parallel figure sweeps, hence
    the mutexed table. *)
-let cache : (string, Strategies.result) Tf_parallel.Memo.t = Tf_parallel.Memo.create ~size:256 ()
+let cache : (cache_key, Strategies.result) Tf_parallel.Memo.t =
+  Tf_parallel.Memo.create ~size:256 ~name:"exp_common.summary" ()
 
 let reset_cache () = Tf_parallel.Memo.clear cache
 
@@ -23,10 +51,7 @@ let verify_result arch w (r : Strategies.result) =
 let evaluate ?(tileseek_iterations = 200) (arch : Tf_arch.Arch.t) (w : Workload.t) strategy =
   (* The TileSeek budget changes the result, so it must be part of the
      key: evaluations at different budgets may not share cache entries. *)
-  let key =
-    Printf.sprintf "%s/%s/%d/%d/%s/%d" arch.Tf_arch.Arch.name w.model.Model.name w.seq_len
-      w.batch (Strategies.name strategy) tileseek_iterations
-  in
+  let key = cache_key ~tileseek_iterations arch w strategy in
   Tf_parallel.Memo.find_or_compute cache key (fun () ->
       verify_result arch w (Strategies.evaluate ~tileseek_iterations arch w strategy))
 

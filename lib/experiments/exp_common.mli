@@ -5,6 +5,27 @@
     a memoised evaluation cache so the figures share work, plus the
     sweeps, geometric means and table printers they have in common. *)
 
+type cache_key = {
+  key_arch : string;  (** {!Transfusion.Strategies.Private.arch_fingerprint} *)
+  key_model : Tf_workloads.Model.t;
+  key_seq_len : int;
+  key_batch : int;
+  key_strategy : Transfusion.Strategies.t;
+  key_budget : int;  (** TileSeek iteration budget *)
+}
+(** Structured summary-cache key: every field the evaluation depends
+    on, compared structurally.  (An earlier revision concatenated names
+    and numbers into one string, which keyed distinct archs by name
+    alone and invited separator collisions.) *)
+
+val cache_key :
+  tileseek_iterations:int ->
+  Tf_arch.Arch.t ->
+  Tf_workloads.Workload.t ->
+  Transfusion.Strategies.t ->
+  cache_key
+(** The key {!evaluate} memoises under (exposed for tests). *)
+
 val evaluate :
   ?tileseek_iterations:int ->
   Tf_arch.Arch.t ->

@@ -1,0 +1,14 @@
+/* Monotonic clock for Tf_obs: CLOCK_MONOTONIC nanoseconds as int64.
+   No OCaml-heap allocation beyond the boxed int64, safe to call from
+   any domain without holding the runtime lock for long. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value tf_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

@@ -1,0 +1,392 @@
+(* Tf_obs: process-wide observability for the search stack.
+
+   Three pieces, all domain-safe and dependency-free (stdlib + one C
+   stub for CLOCK_MONOTONIC):
+
+   - a metrics registry of named atomic counters, gauges and
+     fixed-bucket histograms.  Every mutation is guarded by one global
+     [enabled] flag, so with observability off the hot-path cost is a
+     single atomic load and an untaken branch;
+   - monotonic timers ([now_ns], [Histogram.time]) backed by
+     clock_gettime(CLOCK_MONOTONIC), so span durations survive wall
+     clock adjustments;
+   - lightweight span tracing that buffers events per domain (no
+     cross-domain contention on the record path) and serializes to
+     Chrome trace-event JSON readable by chrome://tracing and Perfetto.
+
+   Metrics and traces are collected by [snapshot]/[Trace.to_json] from
+   a quiescent process (after the parallel engine drained), which is
+   how the CLI and bench harness use them. *)
+
+external now_ns : unit -> int64 = "tf_obs_monotonic_ns"
+
+let now_us () = Int64.to_float (now_ns ()) /. 1e3
+
+(* ------------------------------------------------------------------ *)
+(* Enable flag                                                         *)
+
+let enabled_flag = Atomic.make false
+
+let enabled () = Atomic.get enabled_flag
+
+let set_enabled b = Atomic.set enabled_flag b
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+
+(* [Atomic.t] on floats: CAS compares the boxed value physically, and
+   [cur] is the exact box last read, so the loop retries iff another
+   domain won the race. *)
+let rec atomic_add_float a x =
+  let cur = Atomic.get a in
+  if not (Atomic.compare_and_set a cur (cur +. x)) then atomic_add_float a x
+
+type counter = { c_help : string; c_v : int Atomic.t }
+
+type gauge = { g_help : string; g_v : float Atomic.t }
+
+type histogram = {
+  h_help : string;
+  h_bounds : float array;  (* strictly increasing upper bounds *)
+  h_buckets : int Atomic.t array;  (* length = bounds + 1 (overflow) *)
+  h_count : int Atomic.t;
+  h_sum : float Atomic.t;
+}
+
+type metric = M_counter of counter | M_gauge of gauge | M_histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let registry_lock = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+(* Idempotent registration: instrumentation sites live at module
+   initialisation, but tests and per-domain caches may re-create; the
+   existing metric wins as long as the kind matches. *)
+let register name make classify =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> (
+          match classify m with
+          | Some v -> v
+          | None -> invalid_arg (Printf.sprintf "Tf_obs: %S already registered with another kind" name))
+      | None ->
+          let v, m = make () in
+          Hashtbl.add registry name m;
+          v)
+
+module Counter = struct
+  type t = counter
+
+  let create ?(help = "") name =
+    register name
+      (fun () ->
+        let c = { c_help = help; c_v = Atomic.make 0 } in
+        (c, M_counter c))
+      (function M_counter c -> Some c | _ -> None)
+
+  let add t n = if enabled () then ignore (Atomic.fetch_and_add t.c_v n : int)
+
+  let incr t = add t 1
+
+  let value t = Atomic.get t.c_v
+end
+
+module Gauge = struct
+  type t = gauge
+
+  let create ?(help = "") name =
+    register name
+      (fun () ->
+        let g = { g_help = help; g_v = Atomic.make 0. } in
+        (g, M_gauge g))
+      (function M_gauge g -> Some g | _ -> None)
+
+  let set t v = if enabled () then Atomic.set t.g_v v
+
+  let add t v = if enabled () then atomic_add_float t.g_v v
+
+  let value t = Atomic.get t.g_v
+end
+
+module Histogram = struct
+  type t = histogram
+
+  (* Default bounds cover nanoseconds-to-minutes span durations in
+     seconds, geometrically. *)
+  let default_bounds =
+    [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.; 10.; 60. |]
+
+  let create ?(help = "") ?(buckets = default_bounds) name =
+    let sorted = Array.for_all (fun b -> b = b) buckets (* no NaN *) in
+    let increasing =
+      let ok = ref true in
+      for i = 1 to Array.length buckets - 1 do
+        if buckets.(i) <= buckets.(i - 1) then ok := false
+      done;
+      !ok
+    in
+    if (not sorted) || not increasing then
+      invalid_arg (Printf.sprintf "Tf_obs.Histogram.create %S: bounds must increase" name);
+    register name
+      (fun () ->
+        let h =
+          {
+            h_help = help;
+            h_bounds = Array.copy buckets;
+            h_buckets = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+            h_count = Atomic.make 0;
+            h_sum = Atomic.make 0.;
+          }
+        in
+        (h, M_histogram h))
+      (function M_histogram h -> Some h | _ -> None)
+
+  let observe t v =
+    if enabled () then begin
+      let n = Array.length t.h_bounds in
+      let i = ref 0 in
+      while !i < n && v > t.h_bounds.(!i) do
+        incr i
+      done;
+      ignore (Atomic.fetch_and_add t.h_buckets.(!i) 1 : int);
+      ignore (Atomic.fetch_and_add t.h_count 1 : int);
+      atomic_add_float t.h_sum v
+    end
+
+  (* Time [f] (in seconds) into the histogram; the clock is read only
+     when metrics are live. *)
+  let time t f =
+    if enabled () then begin
+      let t0 = now_ns () in
+      Fun.protect
+        ~finally:(fun () ->
+          let dt = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9 in
+          observe t dt)
+        f
+    end
+    else f ()
+
+  let count t = Atomic.get t.h_count
+
+  let sum t = Atomic.get t.h_sum
+end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of { count : int; sum : float; buckets : (float * int) list }
+
+type snapshot = (string * value) list
+
+let snapshot () : snapshot =
+  let read = function
+    | M_counter c -> Counter_v (Counter.value c)
+    | M_gauge g -> Gauge_v (Gauge.value g)
+    | M_histogram h ->
+        let buckets =
+          List.init
+            (Array.length h.h_buckets)
+            (fun i ->
+              let bound =
+                if i < Array.length h.h_bounds then h.h_bounds.(i) else Float.infinity
+              in
+              (bound, Atomic.get h.h_buckets.(i)))
+        in
+        Histogram_v { count = Histogram.count h; sum = Histogram.sum h; buckets }
+  in
+  with_registry (fun () -> Hashtbl.fold (fun name m acc -> (name, read m) :: acc) registry [])
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let find snap name = List.assoc_opt name snap
+
+let counter_value snap name =
+  match find snap name with Some (Counter_v n) -> Some n | _ -> None
+
+let reset () =
+  with_registry (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | M_counter c -> Atomic.set c.c_v 0
+          | M_gauge g -> Atomic.set g.g_v 0.
+          | M_histogram h ->
+              Array.iter (fun b -> Atomic.set b 0) h.h_buckets;
+              Atomic.set h.h_count 0;
+              Atomic.set h.h_sum 0.)
+        registry)
+
+let help_of name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (M_counter c) -> c.c_help
+      | Some (M_gauge g) -> g.g_help
+      | Some (M_histogram h) -> h.h_help
+      | None -> "")
+
+(* A fixed-width text table of the snapshot, for `--metrics`. *)
+let render_snapshot snap =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
+  line "%-48s %16s  %s\n" "metric" "value" "detail";
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter_v n -> line "%-48s %16d\n" name n
+      | Gauge_v g -> line "%-48s %16.4g\n" name g
+      | Histogram_v { count; sum; buckets } ->
+          let mean = if count > 0 then sum /. float_of_int count else 0. in
+          let detail =
+            buckets
+            |> List.filter (fun (_, n) -> n > 0)
+            |> List.map (fun (b, n) ->
+                   if Float.is_integer b && Float.abs b < 1e15 then
+                     Printf.sprintf "le%g:%d" b n
+                   else if b = Float.infinity then Printf.sprintf "inf:%d" n
+                   else Printf.sprintf "le%.2g:%d" b n)
+            |> String.concat " "
+          in
+          line "%-48s %16d  sum=%.4g mean=%.4g %s\n" name count sum mean detail)
+    snap;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Span tracing (Chrome trace-event JSON)                              *)
+
+module Trace = struct
+  type event = {
+    ev_name : string;
+    ev_cat : string;
+    ev_ph : [ `Complete of float (* dur us *) | `Instant ];
+    ev_ts_us : float;
+    ev_tid : int;
+    ev_args : (string * string) list;
+  }
+
+  let active_flag = Atomic.make false
+
+  let active () = Atomic.get active_flag
+
+  (* Per-domain event buffers: each domain appends only to its own ref,
+     registered once in [all_buffers] under a lock.  Collection happens
+     from a quiescent process, so unsynchronized appends never race a
+     reader in practice. *)
+  let buffers_lock = Mutex.create ()
+
+  let all_buffers : event list ref list ref = ref []
+
+  let local_buffer : event list ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () ->
+        let buf = ref [] in
+        Mutex.lock buffers_lock;
+        all_buffers := buf :: !all_buffers;
+        Mutex.unlock buffers_lock;
+        buf)
+
+  let record ev =
+    let buf = Domain.DLS.get local_buffer in
+    buf := ev :: !buf
+
+  let start () = Atomic.set active_flag true
+
+  let stop () = Atomic.set active_flag false
+
+  let clear () =
+    Mutex.lock buffers_lock;
+    List.iter (fun buf -> buf := []) !all_buffers;
+    Mutex.unlock buffers_lock
+
+  let tid () = (Domain.self () :> int)
+
+  let instant ?(cat = "") ?(args = []) name =
+    if active () then
+      record
+        { ev_name = name; ev_cat = cat; ev_ph = `Instant; ev_ts_us = now_us (); ev_tid = tid ();
+          ev_args = args }
+
+  (* The span is recorded even when [f] raises, so a trace of a failed
+     run still shows where time went. *)
+  let with_span ?(cat = "") ?(args = []) name f =
+    if not (active ()) then f ()
+    else begin
+      let t0 = now_us () in
+      Fun.protect
+        ~finally:(fun () ->
+          let t1 = now_us () in
+          record
+            { ev_name = name; ev_cat = cat; ev_ph = `Complete (t1 -. t0); ev_ts_us = t0;
+              ev_tid = tid (); ev_args = args })
+        f
+    end
+
+  let json_escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let events () =
+    Mutex.lock buffers_lock;
+    let all = List.concat_map (fun buf -> !buf) !all_buffers in
+    Mutex.unlock buffers_lock;
+    List.sort (fun a b -> compare a.ev_ts_us b.ev_ts_us) all
+
+  let to_json () =
+    let evs = events () in
+    (* Rebase timestamps so the trace starts near zero: viewers cope
+       with raw monotonic stamps, but small numbers diff better. *)
+    let base = match evs with [] -> 0. | e :: _ -> e.ev_ts_us in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\"traceEvents\":[\n";
+    List.iteri
+      (fun i ev ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        let common =
+          Printf.sprintf "\"name\":\"%s\",\"cat\":\"%s\",\"pid\":1,\"tid\":%d,\"ts\":%.3f"
+            (json_escape ev.ev_name)
+            (json_escape (if ev.ev_cat = "" then "transfusion" else ev.ev_cat))
+            ev.ev_tid (ev.ev_ts_us -. base)
+        in
+        let phase =
+          match ev.ev_ph with
+          | `Complete dur -> Printf.sprintf "\"ph\":\"X\",\"dur\":%.3f" dur
+          | `Instant -> "\"ph\":\"i\",\"s\":\"t\""
+        in
+        let args =
+          match ev.ev_args with
+          | [] -> ""
+          | kvs ->
+              let fields =
+                List.map
+                  (fun (k, v) ->
+                    Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+                  kvs
+              in
+              Printf.sprintf ",\"args\":{%s}" (String.concat "," fields)
+        in
+        Buffer.add_string buf (Printf.sprintf "{%s,%s%s}" common phase args))
+      evs;
+    Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+    Buffer.contents buf
+
+  let write path =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_json ()))
+end

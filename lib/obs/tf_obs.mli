@@ -1,0 +1,132 @@
+(** Process-wide observability for the search stack: a metrics registry
+    (atomic counters / gauges / fixed-bucket histograms), monotonic
+    timers, and lightweight span tracing serialized as Chrome
+    trace-event JSON (chrome://tracing, Perfetto).
+
+    Dependency-free (stdlib plus one C stub for CLOCK_MONOTONIC) and
+    domain-safe: counters and histogram buckets are [Atomic.t]s, trace
+    events buffer per domain.  Everything is gated on one process-wide
+    {!enabled} flag — with observability off, an instrumentation site
+    costs a single atomic load and an untaken branch, so the search
+    stack can stay instrumented unconditionally.
+
+    Snapshots and trace serialization are meant to be taken from a
+    quiescent process (after the {!Tf_parallel} pool has drained a
+    batch), which is how the CLI and bench harness use them. *)
+
+val now_ns : unit -> int64
+(** CLOCK_MONOTONIC in nanoseconds — immune to wall-clock steps. *)
+
+val now_us : unit -> float
+(** {!now_ns} in microseconds (the trace-event time unit). *)
+
+val enabled : unit -> bool
+(** Whether metric mutations are live (off by default). *)
+
+val set_enabled : bool -> unit
+(** Turn metric recording on or off process-wide.  Reads ({!snapshot},
+    [value]) work regardless. *)
+
+(** Monotonically increasing integer counts (events, hits, misses).
+    [create] is idempotent per name: re-creating an existing counter
+    returns the registered one.
+    @raise Invalid_argument when the name is already registered as a
+    different metric kind. *)
+module Counter : sig
+  type t
+
+  val create : ?help:string -> string -> t
+  val add : t -> int -> unit
+  val incr : t -> unit
+  val value : t -> int
+end
+
+(** Last-write-wins float values (pool sizes, utilization). *)
+module Gauge : sig
+  type t
+
+  val create : ?help:string -> string -> t
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  val value : t -> float
+end
+
+(** Fixed-bucket histograms: observations land in the first bucket
+    whose upper bound is >= the value, with an implicit overflow
+    bucket.  Tracks count and sum alongside. *)
+module Histogram : sig
+  type t
+
+  val default_bounds : float array
+  (** Geometric seconds scale, 1us .. 60s. *)
+
+  val create : ?help:string -> ?buckets:float array -> string -> t
+  (** @raise Invalid_argument unless [buckets] is strictly increasing. *)
+
+  val observe : t -> float -> unit
+
+  val time : t -> (unit -> 'a) -> 'a
+  (** Run the thunk, observing its duration in seconds; with
+      observability disabled the clock is never read.  The duration is
+      recorded even when the thunk raises. *)
+
+  val count : t -> int
+  val sum : t -> float
+end
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of { count : int; sum : float; buckets : (float * int) list }
+      (** [buckets] pairs each upper bound (last is [infinity]) with its
+          occupancy. *)
+
+type snapshot = (string * value) list
+(** Sorted by metric name. *)
+
+val snapshot : unit -> snapshot
+(** A point-in-time read of every registered metric. *)
+
+val find : snapshot -> string -> value option
+
+val counter_value : snapshot -> string -> int option
+(** [find] specialised to counters ([None] on kind mismatch). *)
+
+val reset : unit -> unit
+(** Zero every registered metric (tests, repeated bench phases). *)
+
+val help_of : string -> string
+(** The help string a metric was registered with ("" when unknown). *)
+
+val render_snapshot : snapshot -> string
+(** Fixed-width text table, one metric per line (the [--metrics]
+    output). *)
+
+(** Span tracing in Chrome trace-event format.  Recording is gated on
+    its own flag ({!Trace.start}/{!Trace.stop}) so metrics and traces
+    can be enabled independently; events buffer per domain and are
+    merged at serialization time. *)
+module Trace : sig
+  val start : unit -> unit
+  val stop : unit -> unit
+  val active : unit -> bool
+
+  val clear : unit -> unit
+  (** Drop all buffered events (every domain's buffer). *)
+
+  val with_span : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+  (** [with_span name f] runs [f], recording a complete ("ph":"X") event
+      covering its duration — also when [f] raises, so traces of failed
+      runs still show where time went.  No-op while tracing is
+      inactive. *)
+
+  val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
+  (** A zero-duration instant event. *)
+
+  val to_json : unit -> string
+  (** All buffered events as a [{"traceEvents":[...]}] document,
+      timestamps rebased to the first event. *)
+
+  val write : string -> unit
+  (** {!to_json} to a file. *)
+end

@@ -50,6 +50,42 @@ let busy_flag : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
 let must_run_sequentially () = Domain.DLS.get worker_flag || Domain.DLS.get busy_flag
 
+(* Observability: batch/chunk counts, per-domain busy time and the
+   effective parallelism of each batch (busy time over wall time).  All
+   updates are guarded by [Tf_obs.enabled], so a disabled registry
+   costs one atomic load per chunk. *)
+let m_batches = Tf_obs.Counter.create ~help:"top-level parallel batches run" "parallel.batches_total"
+
+let m_chunks = Tf_obs.Counter.create ~help:"work chunks claimed and executed" "parallel.chunks_total"
+
+let m_seq_fallbacks =
+  Tf_obs.Counter.create ~help:"map calls degraded to sequential execution"
+    "parallel.seq_fallbacks_total"
+
+let m_busy_ns =
+  Tf_obs.Counter.create ~help:"summed chunk execution time across domains (ns)"
+    "parallel.busy_ns_total"
+
+let m_wall_ns =
+  Tf_obs.Counter.create ~help:"summed batch wall time on the calling domain (ns)"
+    "parallel.wall_ns_total"
+
+let m_pool_jobs = Tf_obs.Gauge.create ~help:"job count of the last parallel batch" "parallel.pool_jobs"
+
+let m_parallelism =
+  Tf_obs.Histogram.create ~help:"per-batch effective parallelism (busy/wall)"
+    ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128. |]
+    "parallel.effective_parallelism"
+
+(* Each domain owns a busy-time counter, created on first use and cached
+   in domain-local storage so the hot path never takes the registry
+   lock. *)
+let domain_busy : Tf_obs.Counter.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      Tf_obs.Counter.create
+        ~help:"chunk execution time on this domain (ns)"
+        (Printf.sprintf "parallel.domain_busy_ns.d%d" (Domain.self () :> int)))
+
 (* A batch is a monomorphic view of one [map] call: [run i] executes
    chunk [i] and writes results straight into the caller's slots. *)
 type batch = {
@@ -58,6 +94,7 @@ type batch = {
   next : int Atomic.t;
   pending : int Atomic.t;
   err : (int * exn * Printexc.raw_backtrace) option Atomic.t;
+  busy_ns : int Atomic.t;  (* summed chunk time, all domains *)
 }
 
 let engine = Mutex.create () (* serializes top-level batches *)
@@ -98,9 +135,18 @@ let run_batch_chunks b =
     let i = Atomic.fetch_and_add b.next 1 in
     if i >= b.chunks then continue := false
     else begin
-      (if Atomic.get b.err = None then
-         try b.run i
-         with e -> record_err b i e (Printexc.get_raw_backtrace ()));
+      (if Atomic.get b.err = None then begin
+         let obs = Tf_obs.enabled () in
+         let t0 = if obs then Tf_obs.now_ns () else 0L in
+         (try Tf_obs.Trace.with_span ~cat:"parallel" "parallel.chunk" (fun () -> b.run i)
+          with e -> record_err b i e (Printexc.get_raw_backtrace ()));
+         if obs then begin
+           let dt = Int64.to_int (Int64.sub (Tf_obs.now_ns ()) t0) in
+           ignore (Atomic.fetch_and_add b.busy_ns dt : int);
+           Tf_obs.Counter.incr m_chunks;
+           Tf_obs.Counter.add (Domain.DLS.get domain_busy) dt
+         end
+       end);
       if Atomic.fetch_and_add b.pending (-1) = 1 then begin
         Mutex.lock lock;
         Condition.broadcast batch_done;
@@ -155,20 +201,36 @@ let run_parallel ~jobs:k ~chunks run =
   ensure_workers (k - 1);
   let b =
     { chunks; run; next = Atomic.make 0; pending = Atomic.make chunks;
-      err = Atomic.make None }
+      err = Atomic.make None; busy_ns = Atomic.make 0 }
   in
-  Mutex.lock lock;
-  current := Some b;
-  incr generation;
-  Condition.broadcast work_ready;
-  Mutex.unlock lock;
-  run_batch_chunks b;
-  Mutex.lock lock;
-  while Atomic.get b.pending > 0 do
-    Condition.wait batch_done lock
-  done;
-  current := None;
-  Mutex.unlock lock;
+  let obs = Tf_obs.enabled () in
+  let t0 = if obs then Tf_obs.now_ns () else 0L in
+  Tf_obs.Trace.with_span ~cat:"parallel"
+    ~args:[ ("jobs", string_of_int k); ("chunks", string_of_int chunks) ]
+    "parallel.batch"
+    (fun () ->
+      Mutex.lock lock;
+      current := Some b;
+      incr generation;
+      Condition.broadcast work_ready;
+      Mutex.unlock lock;
+      run_batch_chunks b;
+      Mutex.lock lock;
+      while Atomic.get b.pending > 0 do
+        Condition.wait batch_done lock
+      done;
+      current := None;
+      Mutex.unlock lock);
+  if obs then begin
+    let wall = Int64.to_int (Int64.sub (Tf_obs.now_ns ()) t0) in
+    let busy = Atomic.get b.busy_ns in
+    Tf_obs.Counter.incr m_batches;
+    Tf_obs.Counter.add m_wall_ns wall;
+    Tf_obs.Counter.add m_busy_ns busy;
+    Tf_obs.Gauge.set m_pool_jobs (float_of_int k);
+    if wall > 0 then
+      Tf_obs.Histogram.observe m_parallelism (float_of_int busy /. float_of_int wall)
+  end;
   Domain.DLS.set busy_flag false;
   Mutex.unlock engine;
   match Atomic.get b.err with
@@ -187,7 +249,10 @@ let map ?jobs:j ?chunk f arr =
       | None -> jobs ()
     in
     let k = Int.min k n in
-    if k <= 1 || must_run_sequentially () then Array.map f arr
+    if k <= 1 || must_run_sequentially () then begin
+      Tf_obs.Counter.incr m_seq_fallbacks;
+      Array.map f arr
+    end
     else begin
       let chunk_size =
         match chunk with
@@ -226,46 +291,98 @@ let map_reduce ?jobs ?chunk ~map:f ~reduce init arr =
   Array.fold_left reduce init (map ?jobs ?chunk f arr)
 
 module Memo = struct
+  type 'v entry = Ready of 'v | Running
+
   type ('k, 'v) t = {
     mutex : Mutex.t;
-    tbl : ('k, 'v) Hashtbl.t;
+    settled : Condition.t;  (* signalled when a Running entry resolves *)
+    tbl : ('k, 'v entry) Hashtbl.t;
+    hits : Tf_obs.Counter.t option;
+    misses : Tf_obs.Counter.t option;
   }
 
-  let create ?(size = 64) () = { mutex = Mutex.create (); tbl = Hashtbl.create size }
+  (* Tables created with [~name] publish [memo.<name>.hits_total] /
+     [memo.<name>.misses_total] in the Tf_obs registry. *)
+  let create ?(size = 64) ?name () =
+    let counter suffix help =
+      Option.map (fun n -> Tf_obs.Counter.create ~help (Printf.sprintf "memo.%s.%s" n suffix)) name
+    in
+    {
+      mutex = Mutex.create ();
+      settled = Condition.create ();
+      tbl = Hashtbl.create size;
+      hits = counter "hits_total" "lookups answered from the table (incl. waited-on in-flight)";
+      misses = counter "misses_total" "lookups that ran the thunk";
+    }
+
+  let bump = function Some c -> Tf_obs.Counter.incr c | None -> ()
 
   let find_opt t k =
     Mutex.lock t.mutex;
-    let r = Hashtbl.find_opt t.tbl k in
+    let r =
+      match Hashtbl.find_opt t.tbl k with Some (Ready v) -> Some v | Some Running | None -> None
+    in
     Mutex.unlock t.mutex;
     r
 
-  (* The thunk runs outside the lock so distinct keys memoize
-     concurrently; on a same-key race the first insertion wins and
-     every caller returns that stored value. *)
+  (* The thunk runs outside the lock so distinct keys compute
+     concurrently, but a same-key race no longer duplicates the (often
+     expensive) computation or its side effects: the first caller
+     installs a [Running] marker and later callers block on [settled]
+     until the value -- computed exactly once -- is published.  If the
+     thunk raises, the marker is removed so waiters retry (one of them
+     becomes the new computer). *)
   let find_or_compute t k f =
-    match find_opt t k with
-    | Some v -> v
-    | None ->
-      let v = f () in
-      Mutex.lock t.mutex;
-      let stored =
-        match Hashtbl.find_opt t.tbl k with
-        | Some existing -> existing
-        | None ->
-          Hashtbl.add t.tbl k v;
-          v
-      in
-      Mutex.unlock t.mutex;
-      stored
+    Mutex.lock t.mutex;
+    let rec claim () =
+      match Hashtbl.find_opt t.tbl k with
+      | Some (Ready v) -> Some v
+      | Some Running ->
+          Condition.wait t.settled t.mutex;
+          claim ()
+      | None ->
+          Hashtbl.add t.tbl k Running;
+          None
+    in
+    match claim () with
+    | Some v ->
+        Mutex.unlock t.mutex;
+        bump t.hits;
+        v
+    | None -> (
+        Mutex.unlock t.mutex;
+        bump t.misses;
+        match f () with
+        | v ->
+            Mutex.lock t.mutex;
+            Hashtbl.replace t.tbl k (Ready v);
+            Condition.broadcast t.settled;
+            Mutex.unlock t.mutex;
+            v
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Mutex.lock t.mutex;
+            Hashtbl.remove t.tbl k;
+            Condition.broadcast t.settled;
+            Mutex.unlock t.mutex;
+            Printexc.raise_with_backtrace e bt)
 
   let length t =
     Mutex.lock t.mutex;
-    let n = Hashtbl.length t.tbl in
+    let n =
+      Hashtbl.fold (fun _ e acc -> match e with Ready _ -> acc + 1 | Running -> acc) t.tbl 0
+    in
     Mutex.unlock t.mutex;
     n
 
   let clear t =
     Mutex.lock t.mutex;
+    (* Keep in-flight markers: their computers will publish into the
+       fresh table, and dropping them would strand waiters. *)
+    let running =
+      Hashtbl.fold (fun k e acc -> match e with Running -> k :: acc | Ready _ -> acc) t.tbl []
+    in
     Hashtbl.reset t.tbl;
+    List.iter (fun k -> Hashtbl.add t.tbl k Running) running;
     Mutex.unlock t.mutex
 end

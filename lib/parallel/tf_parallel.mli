@@ -74,20 +74,26 @@ val map_reduce :
 
     Lookups and insertions are serialized under one lock; the compute
     thunk runs {e outside} it, so distinct keys memoize concurrently.
-    Two domains racing on the same key may both compute it — the first
-    insertion wins and both observe the winning value, so callers see a
-    single canonical result (physical equality of repeated lookups
-    holds).  Safe (and cheap) under [TRANSFUSION_JOBS=1] too. *)
+    A key being computed is marked in-flight: other domains asking for
+    the same key block on a condition variable until the computation
+    settles, so each key's thunk runs {e at most once} — callers always
+    observe the single canonical result (physical equality of repeated
+    lookups holds) and side-effecting thunks are never duplicated.
+    Safe (and cheap) under [TRANSFUSION_JOBS=1] too. *)
 module Memo : sig
   type ('k, 'v) t
 
-  val create : ?size:int -> unit -> ('k, 'v) t
-  (** [size] is the initial bucket hint (default 64). *)
+  val create : ?size:int -> ?name:string -> unit -> ('k, 'v) t
+  (** [size] is the initial bucket hint (default 64).  [name], when
+      given, publishes [memo.<name>.hits_total] /
+      [memo.<name>.misses_total] counters in the {!Tf_obs} registry. *)
 
   val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
   (** [find_or_compute t k f] returns the cached value for [k],
-      computing it with [f] on a miss.  [f]'s exceptions propagate and
-      nothing is cached. *)
+      computing it with [f] on a miss.  Concurrent callers for the same
+      key wait for the first computation instead of re-running [f].
+      [f]'s exceptions propagate to the computing caller and nothing is
+      cached; any waiters then retry the computation themselves. *)
 
   val find_opt : ('k, 'v) t -> 'k -> 'v option
   val length : ('k, 'v) t -> int

@@ -66,6 +66,37 @@ type eval_result =
   | Pruned
   | Done of { makespan : float; makespan_half : float; steady : float }
 
+let m_schedules = Tf_obs.Counter.create ~help:"Dpipe.schedule calls" "dpipe.schedules_total"
+
+let m_candidates =
+  Tf_obs.Counter.create ~help:"(partition x order) candidates enumerated" "dpipe.candidates_total"
+
+let m_pruned =
+  Tf_obs.Counter.create ~help:"candidates abandoned mid-DP by branch-and-bound"
+    "dpipe.pruned_total"
+
+let m_evaluated =
+  Tf_obs.Counter.create ~help:"candidates fully evaluated by the DP" "dpipe.evaluated_total"
+
+let m_incumbent_updates =
+  Tf_obs.Counter.create ~help:"shared incumbent improvements during candidate evaluation"
+    "dpipe.incumbent_updates_total"
+
+let m_candidate_seconds =
+  Tf_obs.Histogram.create ~help:"per-candidate DP evaluation time (s)"
+    ~buckets:[| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.; 10. |]
+    "dpipe.candidate_seconds"
+
+(* Tie-break tolerance, relative to the value compared against: steady
+   intervals are cycle-scale (often 1e3..1e7), where the accumulated FP
+   noise of the DP sums dwarfs any absolute 1e-9 epsilon — an absolute
+   epsilon made the pruner drop candidates tied with the incumbent that
+   the `~verify:true` path (no pruning) kept, so fast and verify runs
+   could disagree on an equally-good winner.  The relative margin is
+   also strictly wider than the absolute 1e-9 the winner fold uses for
+   ties, so a pruned candidate can never re-qualify as a tie there. *)
+let prune_tolerance incumbent = 1e-9 *. Float.max 1. (Float.abs incumbent)
+
 (* The DP of Eq. 43-46, fed in wave order.
 
    Instance (n, e) belongs to wave [e + stage n] (the second-stage work
@@ -182,7 +213,7 @@ let eval_candidate ctx ~mode ~epochs ~stage ~ord ~prune_bound ~record =
       if incumbent < Float.infinity then begin
         let lb_mk = Float.max !mk ((!t1 +. !t2 +. !rem_busy) /. 2.) in
         let lb_steady = (lb_mk -. !mk_half) /. float_of_int (epochs - eh) in
-        if lb_steady > incumbent +. 1e-9 then pruned := true
+        if lb_steady > incumbent +. prune_tolerance incumbent then pruned := true
       end
     end;
     if not !pruned then begin
@@ -253,7 +284,9 @@ let check g t =
    changes the winner, only skips provable losers. *)
 let rec shrink_incumbent inc v =
   let cur = Atomic.get inc in
-  if v < cur && not (Atomic.compare_and_set inc cur v) then shrink_incumbent inc v
+  if v < cur then
+    if Atomic.compare_and_set inc cur v then Tf_obs.Counter.incr m_incumbent_updates
+    else shrink_incumbent inc v
 
 let candidate_stage ctx partition =
   let stage = Array.make ctx.n_nodes 0 in
@@ -267,6 +300,16 @@ let schedule ?(epochs = 8) ?(partition_limit = 512) ?(eval_partitions = 16) ?(or
     ?(mode = `Dp) ?(verify = false) arch ~load ~matrix g =
   if Dag.node_count g = 0 then invalid_arg "Dpipe.schedule: empty DAG";
   if not (Dag.is_acyclic g) then invalid_arg "Dpipe.schedule: cyclic graph";
+  Tf_obs.Counter.incr m_schedules;
+  Tf_obs.Trace.with_span ~cat:"dpipe"
+    ~args:
+      [
+        ("arch", arch.Arch.name);
+        ("nodes", string_of_int (Dag.node_count g));
+        ("verify", string_of_bool verify);
+      ]
+    "dpipe.schedule"
+  @@ fun () ->
   let partitions = Partition.enumerate ~limit:partition_limit g in
   (* Rank bipartitions by stage load balance and evaluate only the best
      few: the steady interval of a two-stage pipeline is bounded below by
@@ -299,8 +342,11 @@ let schedule ?(epochs = 8) ?(partition_limit = 512) ?(eval_partitions = 16) ?(or
              orders)
          candidates)
   in
+  Tf_obs.Counter.add m_candidates (Array.length pairs);
   let incumbent = Atomic.make Float.infinity in
-  let eval (partition, order, stage, ord) =
+  let eval pair =
+    Tf_obs.Histogram.time m_candidate_seconds @@ fun () ->
+    let partition, order, stage, ord = pair in
     if verify then begin
       (* Sanitizer mode: no pruning, and every candidate materializes
          its assignments so it can be validated, not just the winner. *)
@@ -309,6 +355,7 @@ let schedule ?(epochs = 8) ?(partition_limit = 512) ?(eval_partitions = 16) ?(or
       with
       | Pruned, _ -> assert false
       | Done { makespan; steady; _ }, assignments ->
+          Tf_obs.Counter.incr m_evaluated;
           let candidate =
             {
               partition;
@@ -332,8 +379,11 @@ let schedule ?(epochs = 8) ?(partition_limit = 512) ?(eval_partitions = 16) ?(or
           ~prune_bound:(fun () -> Atomic.get incumbent)
           ~record:false
       with
-      | Pruned, _ -> None
+      | Pruned, _ ->
+          Tf_obs.Counter.incr m_pruned;
+          None
       | Done { makespan; steady; _ }, _ ->
+          Tf_obs.Counter.incr m_evaluated;
           shrink_incumbent incumbent steady;
           Some (steady, makespan)
   in

@@ -19,6 +19,19 @@ type 'action node = {
 
 let make_node actions = { children = []; untried = actions; visits = 0; total_reward = 0. }
 
+let m_rollouts = Tf_obs.Counter.create ~help:"MCTS selection+rollout iterations" "mcts.rollouts_total"
+
+let m_terminals =
+  Tf_obs.Counter.create ~help:"terminal paths evaluated (reward calls)" "mcts.terminals_total"
+
+let m_tt_hits =
+  Tf_obs.Counter.create ~help:"rewards answered from the transposition table"
+    "mcts.transposition_hits_total"
+
+let m_tt_misses =
+  Tf_obs.Counter.create ~help:"rewards computed and stored in the transposition table"
+    "mcts.transposition_misses_total"
+
 let ucb1 ~exploration ~parent_visits node =
   if node.visits = 0 then infinity
   else
@@ -35,14 +48,18 @@ let search ?(exploration = Float.sqrt 2.) ?transposition ~rng ~iterations proble
     | None -> problem.reward path
     | Some tbl -> (
         match Hashtbl.find_opt tbl path with
-        | Some r -> r
+        | Some r ->
+            Tf_obs.Counter.incr m_tt_hits;
+            r
         | None ->
+            Tf_obs.Counter.incr m_tt_misses;
             let r = problem.reward path in
             Hashtbl.add tbl path r;
             r)
   in
   let consider path reward =
     incr terminals;
+    Tf_obs.Counter.incr m_terminals;
     match !best with
     | Some (_, r) when r >= reward -> ()
     | _ -> best := Some (List.rev path, reward)
@@ -56,6 +73,7 @@ let search ?(exploration = Float.sqrt 2.) ?transposition ~rng ~iterations proble
         rollout (pick :: path_rev)
   in
   for _ = 1 to iterations do
+    Tf_obs.Counter.incr m_rollouts;
     (* Selection: walk UCB1-best children while fully expanded. *)
     let rec select node path_rev trail =
       if node.untried <> [] then (node, path_rev, trail)

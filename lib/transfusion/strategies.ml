@@ -245,7 +245,8 @@ let fusemax_assign (arch : Arch.t) cascade =
 (* Memoised DPipe runs: the schedule depends only on (arch, model, seq,
    batch, m0, mode tag).  The table is shared by concurrent sweep
    evaluations, hence the mutexed [Tf_parallel.Memo]. *)
-let dpipe_cache : (string, exec_summary) Tf_parallel.Memo.t = Tf_parallel.Memo.create ()
+let dpipe_cache : (string, exec_summary) Tf_parallel.Memo.t =
+  Tf_parallel.Memo.create ~name:"strategies.dpipe" ()
 
 let attention_tag = function
   | Self -> "self"
@@ -643,6 +644,16 @@ let phases ?tiling ?(tileseek_iterations = 200) ?attention ?include_ffn ?layers 
 
 let evaluate ?tiling ?tileseek_iterations ?attention ?include_ffn ?layers ?objective arch w
     strategy =
+  Tf_obs.Trace.with_span ~cat:"strategy"
+    ~args:
+      [
+        ("strategy", name strategy);
+        ("arch", arch.Arch.name);
+        ("model", w.Workload.model.Model.name);
+        ("seq", string_of_int w.Workload.seq_len);
+      ]
+    "strategy.evaluate"
+  @@ fun () ->
   let phase_list, config =
     phases ?tiling ?tileseek_iterations ?attention ?include_ffn ?layers ?objective arch w strategy
   in

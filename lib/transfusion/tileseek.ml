@@ -28,13 +28,18 @@ let all_divisors n =
   in
   loop [] 1
 
-(* Thin a divisor list to at most [keep] geometrically spread options. *)
+(* Thin a divisor list to at most [keep] geometrically spread options.
+   [keep <= 1] keeps at most the first option instead of dividing by
+   zero in the spread index. *)
 let thin keep l =
-  let n = List.length l in
-  if n <= keep then l
+  if keep <= 0 then []
   else
-    let arr = Array.of_list l in
-    List.init keep (fun i -> arr.(i * (n - 1) / (keep - 1))) |> List.sort_uniq compare
+    let n = List.length l in
+    if n <= keep then l
+    else if keep = 1 then [ List.hd l ]
+    else
+      let arr = Array.of_list l in
+      List.init keep (fun i -> arr.(i * (n - 1) / (keep - 1))) |> List.sort_uniq compare
 
 let b_options (w : Workload.t) = pow2_divisors w.batch
 let d_options (w : Workload.t) = thin 12 (all_divisors w.model.Model.d_model)
@@ -178,6 +183,16 @@ let log_src = Logs.Src.create "transfusion.tileseek" ~doc:"TileSeek tiling searc
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+let m_searches = Tf_obs.Counter.create ~help:"Tileseek.search calls" "tileseek.searches_total"
+
+let m_memo_hits =
+  Tf_obs.Counter.create ~help:"cost-model evaluations answered from the config memo"
+    "tileseek.cost_memo_hits_total"
+
+let m_memo_misses =
+  Tf_obs.Counter.create ~help:"cost-model evaluations that ran the full cost model"
+    "tileseek.cost_memo_misses_total"
+
 (* Config-keyed memo: the caller's cost function re-runs the full cost
    model (the expensive Timeloop/Accelergy role), and the seeding passes,
    the grid sweep and MCTS rollouts revisit the same configurations many
@@ -187,8 +202,11 @@ let memoize_cost f =
   let tbl : (config, float) Hashtbl.t = Hashtbl.create 256 in
   fun c ->
     match Hashtbl.find_opt tbl c with
-    | Some v -> v
+    | Some v ->
+        Tf_obs.Counter.incr m_memo_hits;
+        v
     | None ->
+        Tf_obs.Counter.incr m_memo_misses;
         let v = f c in
         Hashtbl.add tbl c v;
         v
@@ -207,6 +225,11 @@ let pareto ?(iterations = 200) arch w ~latency ~energy () =
           if feasible arch w candidate then begin
             let candidate = grow candidate d_options (fun c d -> { c with d }) in
             let candidate = grow candidate s_options (fun c s -> { c with s }) in
+            (* Grow m1 exactly as [grid_seed] does: without this step the
+               frontier silently excluded every multi-tile M1 config. *)
+            let candidate =
+              grow candidate (fun w -> m1_options w ~m0:candidate.m0) (fun c m1 -> { c with m1 })
+            in
             let candidate = grow candidate b_options (fun c b -> { c with b }) in
             pool := candidate :: !pool
           end)
@@ -215,13 +238,14 @@ let pareto ?(iterations = 200) arch w ~latency ~energy () =
   let rng = Random.State.make [| 2024 |] in
   let pick options = List.nth options (Random.State.int rng (List.length options)) in
   for _ = 1 to iterations do
+    let m0 = pick (m0_options w) in
     let candidate =
       {
         b = pick (b_options w);
         d = pick (d_options w);
         p = pick (p_options w);
-        m1 = 1;
-        m0 = pick (m0_options w);
+        m1 = pick (m1_options w ~m0);
+        m0;
         s = pick (s_options w);
       }
     in
@@ -239,6 +263,17 @@ let pareto ?(iterations = 200) arch w ~latency ~energy () =
   |> List.sort (fun (_, l1, _) (_, l2, _) -> compare l1 l2)
 
 let search ?(iterations = 400) ?(seed = 42) arch w ~evaluate () =
+  Tf_obs.Counter.incr m_searches;
+  Tf_obs.Trace.with_span ~cat:"tileseek"
+    ~args:
+      [
+        ("arch", arch.Arch.name);
+        ("model", w.Workload.model.Model.name);
+        ("seq", string_of_int w.Workload.seq_len);
+        ("iterations", string_of_int iterations);
+      ]
+    "tileseek.search"
+  @@ fun () ->
   let evaluate = memoize_cost evaluate in
   let seeds =
     grid_seed arch w ~evaluate

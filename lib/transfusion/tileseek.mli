@@ -18,6 +18,12 @@ type config = {
   s : int;  (** FFN-hidden slice *)
 }
 
+val thin : int -> 'a list -> 'a list
+(** [thin keep l] reduces [l] to at most [keep] evenly spread elements
+    (first and last always survive for [keep >= 2]); [keep = 1] keeps
+    the first element, [keep <= 0] keeps none.  Exposed for tests —
+    this is how the divisor menus are bounded. *)
+
 val p_row : Tf_arch.Arch.t -> config -> int
 (** P': intra-tile sequence length per PE row — [p / rows(2D array)],
     at least 1 (paper Section 5.2). *)

@@ -156,6 +156,37 @@ let prop_schedules_valid =
       let sched = Dpipe.schedule arch ~load ~matrix g in
       match Dpipe.check g sched with Ok () -> true | Error _ -> false)
 
+let prop_prune_matches_verify =
+  (* Regression: the branch-and-bound pruner compared lower bounds to the
+     shared incumbent with an absolute 1e-9 epsilon; at cycle-scale
+     steady intervals (~1e6) that is below float ulp noise, so the fast
+     path could prune a candidate the no-prune [~verify:true] path kept
+     as a tie, and the two disagreed on the winner.  With the relative
+     tolerance the fast and verify runs must pick identical schedules. *)
+  QCheck.Test.make ~name:"pruned search equals verify search" ~count:40
+    QCheck.(pair (int_range 2 7) (int_range 0 1000))
+    (fun (n, seed) ->
+      let state = Random.State.make [| seed |] in
+      let edges =
+        List.concat_map
+          (fun i ->
+            List.filter_map
+              (fun j -> if j > i && Random.State.bool state then Some (i, j) else None)
+              (List.init n Fun.id))
+          (List.init n Fun.id)
+      in
+      let g = Dag.of_edges (List.init n (fun i -> (i, i))) edges in
+      (* Equal loads manufacture exact steady-interval ties between
+         candidates, the regime the absolute epsilon got wrong. *)
+      let load _ = 256. in
+      let matrix i = i mod 2 = 0 in
+      let fast = Dpipe.schedule arch ~load ~matrix g in
+      let full = Dpipe.schedule ~verify:true arch ~load ~matrix g in
+      fast.Dpipe.steady_interval_cycles = full.Dpipe.steady_interval_cycles
+      && fast.Dpipe.partition = full.Dpipe.partition
+      && fast.Dpipe.order = full.Dpipe.order
+      && fast.Dpipe.assignments = full.Dpipe.assignments)
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   Alcotest.run "transfusion_dpipe"
@@ -172,5 +203,6 @@ let () =
           quick "check detects violations" test_check_detects_violations;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_steady_lower_bound; prop_schedules_valid ] );
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_steady_lower_bound; prop_schedules_valid; prop_prune_matches_verify ] );
     ]

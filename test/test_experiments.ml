@@ -57,6 +57,33 @@ let test_arch_fingerprint () =
   Alcotest.(check bool) "same name, different eff, distinct fingerprints" true
     (fp base <> fp variant)
 
+let test_cache_key_distinct () =
+  (* Regression: the summary-cache key used to be a concatenated string,
+     which collides whenever adjacent numeric fields can trade digits.
+     The structured key must distinguish every field combination. *)
+  let k = E.Exp_common.cache_key ~tileseek_iterations:40 in
+  let edge = Tf_arch.Presets.edge and cloud = Tf_arch.Presets.cloud in
+  let w ~seq ~batch = Workload.v ~batch Presets.t5 ~seq_len:seq in
+  let base = k edge (w ~seq:1024 ~batch:64) Strategies.Transfusion in
+  Alcotest.(check bool) "equal inputs, equal key" true
+    (base = k edge (w ~seq:1024 ~batch:64) Strategies.Transfusion);
+  (* The string-key collision class: (seq, batch) digit reshuffles. *)
+  Alcotest.(check bool) "seq/batch transposition" true
+    (k edge (w ~seq:102 ~batch:464) Strategies.Transfusion
+    <> k edge (w ~seq:1024 ~batch:64) Strategies.Transfusion);
+  List.iter
+    (fun (label, other) -> Alcotest.(check bool) label true (base <> other))
+    [
+      ("arch", k cloud (w ~seq:1024 ~batch:64) Strategies.Transfusion);
+      ("model", k edge (Workload.v ~batch:64 Presets.bert ~seq_len:1024) Strategies.Transfusion);
+      ("seq", k edge (w ~seq:2048 ~batch:64) Strategies.Transfusion);
+      ("batch", k edge (w ~seq:1024 ~batch:32) Strategies.Transfusion);
+      ("strategy", k edge (w ~seq:1024 ~batch:64) Strategies.Fusemax);
+      ( "budget",
+        E.Exp_common.cache_key ~tileseek_iterations:12 edge (w ~seq:1024 ~batch:64)
+          Strategies.Transfusion );
+    ]
+
 let test_fig8_model_wise () =
   let points = E.Fig8_speedup.model_wise ~seq:1024 Tf_arch.Presets.edge in
   Alcotest.(check int) "five models" 5 (List.length points);
@@ -173,6 +200,7 @@ let () =
           quick "memoisation" test_memo;
           quick "memo key includes budget" test_memo_key_includes_budget;
           quick "arch fingerprint" test_arch_fingerprint;
+          quick "cache key distinctness" test_cache_key_distinct;
         ] );
       ( "figures",
         [

@@ -1,0 +1,343 @@
+(* Tests for Tf_obs: registry semantics, the disabled-is-free contract,
+   trace JSON well-formedness and domain-safety of concurrent updates.
+
+   The registry is process-global, so each test leaves the enabled flag
+   off and works with uniquely named metrics where staleness could
+   interfere. *)
+
+module Obs = Tf_obs
+
+let with_enabled f =
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) f
+
+let test_counter_and_gauge () =
+  with_enabled @@ fun () ->
+  let c = Obs.Counter.create ~help:"test counter" "test.counter" in
+  Alcotest.(check int) "starts at zero" 0 (Obs.Counter.value c);
+  Obs.Counter.incr c;
+  Obs.Counter.add c 4;
+  Alcotest.(check int) "accumulates" 5 (Obs.Counter.value c);
+  let g = Obs.Gauge.create "test.gauge" in
+  Obs.Gauge.set g 2.5;
+  Obs.Gauge.add g 0.5;
+  Alcotest.(check (float 1e-12)) "gauge" 3.0 (Obs.Gauge.value g)
+
+let test_registration_idempotent () =
+  let a = Obs.Counter.create "test.idempotent" in
+  let b = Obs.Counter.create "test.idempotent" in
+  with_enabled (fun () -> Obs.Counter.incr a);
+  Alcotest.(check int) "same underlying metric" (Obs.Counter.value a) (Obs.Counter.value b);
+  Alcotest.(check bool) "kind clash rejected" true
+    (try
+       ignore (Obs.Gauge.create "test.idempotent" : Obs.Gauge.t);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check string) "help preserved"
+    (Obs.help_of "test.counter") "test counter"
+
+let test_disabled_is_noop () =
+  Obs.set_enabled false;
+  let c = Obs.Counter.create "test.disabled.counter" in
+  let h = Obs.Histogram.create "test.disabled.hist" in
+  let before = Obs.Counter.value c in
+  Obs.Counter.incr c;
+  Obs.Counter.add c 100;
+  Obs.Histogram.observe h 1.0;
+  let r = Obs.Histogram.time h (fun () -> 17) in
+  Alcotest.(check int) "timed thunk still runs" 17 r;
+  Alcotest.(check int) "counter untouched" before (Obs.Counter.value c);
+  Alcotest.(check int) "histogram untouched" 0 (Obs.Histogram.count h)
+
+let test_histogram_buckets () =
+  with_enabled @@ fun () ->
+  let h = Obs.Histogram.create ~buckets:[| 1.; 10.; 100. |] "test.hist" in
+  List.iter (Obs.Histogram.observe h) [ 0.5; 5.; 5.; 50.; 5000. ];
+  Alcotest.(check int) "count" 5 (Obs.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 5060.5 (Obs.Histogram.sum h);
+  (match Obs.find (Obs.snapshot ()) "test.hist" with
+  | Some (Obs.Histogram_v { buckets; _ }) ->
+      Alcotest.(check (list (pair (float 1e-12) int)))
+        "bucket occupancy"
+        [ (1., 1); (10., 2); (100., 1); (Float.infinity, 1) ]
+        buckets
+  | _ -> Alcotest.fail "histogram missing from snapshot");
+  Alcotest.(check bool) "non-increasing bounds rejected" true
+    (try
+       ignore (Obs.Histogram.create ~buckets:[| 2.; 1. |] "test.hist.bad" : Obs.Histogram.t);
+       false
+     with Invalid_argument _ -> true)
+
+let test_snapshot_and_reset () =
+  with_enabled @@ fun () ->
+  let c = Obs.Counter.create "test.reset.counter" in
+  Obs.Counter.add c 9;
+  let snap = Obs.snapshot () in
+  Alcotest.(check (option int)) "snapshot reads counter" (Some 9)
+    (Obs.counter_value snap "test.reset.counter");
+  let names = List.map fst snap in
+  Alcotest.(check (list string)) "snapshot sorted by name" (List.sort compare names) names;
+  Alcotest.(check bool) "render mentions the metric" true
+    (let rendered = Obs.render_snapshot snap in
+     let needle = "test.reset.counter" in
+     let n = String.length rendered and m = String.length needle in
+     let rec scan i = i + m <= n && (String.sub rendered i m = needle || scan (i + 1)) in
+     scan 0);
+  Obs.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Obs.Counter.value c)
+
+(* Concurrent increments from every pool domain must all land: counters
+   are atomics, not locked sections, so this exercises the contended
+   path. *)
+let test_domain_safety () =
+  with_enabled @@ fun () ->
+  let c = Obs.Counter.create "test.domains.counter" in
+  let h = Obs.Histogram.create ~buckets:[| 10. |] "test.domains.hist" in
+  let n = 1000 in
+  Tf_parallel.iter ~jobs:4 ~chunk:7
+    (fun _ ->
+      Obs.Counter.incr c;
+      Obs.Histogram.observe h 1.)
+    (Array.init n (fun i -> i));
+  Alcotest.(check int) "no lost counter updates" n (Obs.Counter.value c);
+  Alcotest.(check int) "no lost observations" n (Obs.Histogram.count h);
+  Alcotest.(check (float 1e-6)) "sum consistent" (float_of_int n) (Obs.Histogram.sum h)
+
+(* ------------------------------------------------------------------ *)
+(* Trace JSON: a minimal recursive-descent JSON reader (no external
+   dependency) checks the emitted document parses and has the
+   trace-event shape viewers require. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance () else fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some (('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') as c) ->
+              Buffer.add_char buf c;
+              advance ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail "bad unicode escape"
+              done
+          | _ -> fail "bad escape");
+          loop ()
+      | Some c when Char.code c < 0x20 -> fail "control char in string"
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected , or }"
+          in
+          Obj (members [])
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); List [])
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected , or ]"
+          in
+          List (elements [])
+    | Some 't' ->
+        pos := !pos + 4;
+        Bool true
+    | Some 'f' ->
+        pos := !pos + 5;
+        Bool false
+    | Some 'n' ->
+        pos := !pos + 4;
+        Null
+    | _ -> parse_number () |> fun f -> Num f
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let test_trace_json () =
+  Obs.Trace.clear ();
+  Obs.Trace.start ();
+  Fun.protect ~finally:(fun () -> Obs.Trace.stop (); Obs.Trace.clear ()) @@ fun () ->
+  let r =
+    Obs.Trace.with_span ~cat:"test" ~args:[ ("k", "v\"with\\escapes\n") ] "outer" (fun () ->
+        Obs.Trace.with_span "inner" (fun () -> ());
+        Obs.Trace.instant ~cat:"test" "mark";
+        11)
+  in
+  Alcotest.(check int) "span returns the thunk value" 11 r;
+  (* A raising span still records. *)
+  (try Obs.Trace.with_span "failing" (fun () -> failwith "boom") with Failure _ -> ());
+  let doc = parse_json (Obs.Trace.to_json ()) in
+  let events =
+    match doc with
+    | Obj fields -> (
+        match List.assoc_opt "traceEvents" fields with
+        | Some (List evs) -> evs
+        | _ -> Alcotest.fail "traceEvents missing")
+    | _ -> Alcotest.fail "top level is not an object"
+  in
+  Alcotest.(check int) "outer + inner + instant + failing" 4 (List.length events);
+  let names =
+    List.filter_map
+      (function Obj f -> (match List.assoc_opt "name" f with Some (Str s) -> Some s | _ -> None) | _ -> None)
+      events
+  in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " recorded") true (List.mem expected names))
+    [ "outer"; "inner"; "mark"; "failing" ];
+  List.iter
+    (fun ev ->
+      match ev with
+      | Obj f ->
+          let has k = List.mem_assoc k f in
+          Alcotest.(check bool) "required trace-event fields" true
+            (has "name" && has "ph" && has "ts" && has "pid" && has "tid");
+          (match List.assoc "ph" f with
+          | Str "X" -> Alcotest.(check bool) "complete events carry dur" true (has "dur")
+          | Str "i" -> ()
+          | _ -> Alcotest.fail "unexpected phase")
+      | _ -> Alcotest.fail "event is not an object")
+    events
+
+let test_trace_inactive_buffers_nothing () =
+  Obs.Trace.clear ();
+  Alcotest.(check bool) "inactive by default" false (Obs.Trace.active ());
+  Obs.Trace.with_span "ignored" (fun () -> ());
+  Obs.Trace.instant "ignored";
+  match parse_json (Obs.Trace.to_json ()) with
+  | Obj fields -> (
+      match List.assoc_opt "traceEvents" fields with
+      | Some (List []) -> ()
+      | _ -> Alcotest.fail "expected empty traceEvents")
+  | _ -> Alcotest.fail "top level is not an object"
+
+let test_trace_across_domains () =
+  Obs.Trace.clear ();
+  Obs.Trace.start ();
+  Fun.protect ~finally:(fun () -> Obs.Trace.stop (); Obs.Trace.clear ()) @@ fun () ->
+  Tf_parallel.iter ~jobs:4 ~chunk:1
+    (fun i -> Obs.Trace.with_span "work" (fun () -> ignore (Sys.opaque_identity (i * i))))
+    (Array.init 16 (fun i -> i));
+  let doc = parse_json (Obs.Trace.to_json ()) in
+  match doc with
+  | Obj fields -> (
+      match List.assoc_opt "traceEvents" fields with
+      | Some (List evs) ->
+          let work =
+            List.filter
+              (function
+                | Obj f -> List.assoc_opt "name" f = Some (Str "work")
+                | _ -> false)
+              evs
+          in
+          (* Every span lands in some domain's buffer; the merged JSON
+             must carry all 16 regardless of which domain ran which. *)
+          Alcotest.(check int) "all spans collected" 16 (List.length work)
+      | _ -> Alcotest.fail "traceEvents missing")
+  | _ -> Alcotest.fail "top level is not an object"
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "tf_obs"
+    [
+      ( "registry",
+        [
+          quick "counter and gauge" test_counter_and_gauge;
+          quick "idempotent registration" test_registration_idempotent;
+          quick "disabled is a no-op" test_disabled_is_noop;
+          quick "histogram buckets" test_histogram_buckets;
+          quick "snapshot and reset" test_snapshot_and_reset;
+          quick "domain safety" test_domain_safety;
+        ] );
+      ( "trace",
+        [
+          quick "chrome trace JSON" test_trace_json;
+          quick "inactive records nothing" test_trace_inactive_buffers_nothing;
+          quick "spans merge across domains" test_trace_across_domains;
+        ] );
+    ]

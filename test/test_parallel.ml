@@ -90,8 +90,7 @@ let test_memo () =
   Alcotest.(check int) "length" 1 (P.Memo.length m);
   P.Memo.clear m;
   Alcotest.(check int) "cleared" 0 (P.Memo.length m);
-  (* Concurrent same-key computes race, but every caller sees the one
-     stored value. *)
+  (* Concurrent same-key callers all see the one stored value. *)
   let shared = P.Memo.create () in
   let results =
     P.map ~jobs:4 ~chunk:1
@@ -101,6 +100,38 @@ let test_memo () =
   Array.iter
     (fun r -> Alcotest.(check bool) "all callers share one value" true (r == results.(0)))
     results
+
+let test_memo_single_flight () =
+  (* Regression: [find_or_compute] ran the thunk outside the lock with
+     no in-flight tracking, so domains racing on one key each ran the
+     (often expensive, possibly side-effecting) computation.  The
+     in-flight marker must hold concurrent callers until the single
+     computation settles: the thunk runs exactly once. *)
+  let m = P.Memo.create () in
+  let invocations = Atomic.make 0 in
+  let slow_thunk () =
+    Atomic.incr invocations;
+    (* Stay in flight long enough for the other callers to pile up. *)
+    let t0 = Sys.time () in
+    while Sys.time () -. t0 < 0.05 do
+      ignore (Sys.opaque_identity (Atomic.get invocations))
+    done;
+    42
+  in
+  let results =
+    P.map ~jobs:4 ~chunk:1
+      (fun _ -> P.Memo.find_or_compute m "key" slow_thunk)
+      (Array.init 16 (fun i -> i))
+  in
+  Array.iter (fun r -> Alcotest.(check int) "every caller gets the value" 42 r) results;
+  Alcotest.(check int) "thunk ran exactly once" 1 (Atomic.get invocations);
+  (* A raising thunk caches nothing and unblocks waiters; the next
+     caller retries the computation. *)
+  let m2 = P.Memo.create () in
+  (try ignore (P.Memo.find_or_compute m2 1 (fun () -> failwith "boom") : int)
+   with Failure _ -> ());
+  Alcotest.(check int) "retry after failure" 7 (P.Memo.find_or_compute m2 1 (fun () -> 7));
+  Alcotest.(check int) "retried value cached" 7 (P.Memo.find_or_compute m2 1 (fun () -> 8))
 
 let toy_arch =
   Tf_arch.Arch.v ~name:"ptoy" ~clock_hz:1e9 ~vector_eff_2d:0.5 ~matrix_eff_1d:0.5
@@ -187,7 +218,8 @@ let () =
           quick "map_reduce left fold" test_map_reduce_deterministic;
           quick "nested map degrades" test_nested_map;
         ] );
-      ("memo", [ quick "memo table" test_memo ]);
+      ( "memo",
+        [ quick "memo table" test_memo; quick "single-flight compute" test_memo_single_flight ] );
       ( "determinism",
         [
           quick "dpipe schedule" test_dpipe_schedule_deterministic;

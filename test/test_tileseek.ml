@@ -105,6 +105,29 @@ let test_pareto () =
       Alcotest.(check bool) "feasible" true (Tileseek.feasible edge bert_4k c))
     front
 
+let test_thin () =
+  let l = [ 1; 2; 4; 8; 16; 32 ] in
+  Alcotest.(check (list int)) "keep 0 is empty" [] (Tileseek.thin 0 l);
+  Alcotest.(check (list int)) "keep 1 keeps the head" [ 1 ] (Tileseek.thin 1 l);
+  Alcotest.(check (list int)) "keep 2 spans the range" [ 1; 32 ] (Tileseek.thin 2 l);
+  Alcotest.(check (list int)) "keep >= length is identity" l (Tileseek.thin 10 l);
+  Alcotest.(check (list int)) "empty list" [] (Tileseek.thin 3 [])
+
+let test_pareto_explores_m1 () =
+  (* Regression: the pareto candidate pool skipped the m1 growth step the
+     grid seed performs (and hard-coded m1 = 1 in the random samples), so
+     the frontier could never contain a multi-tile M1 configuration even
+     when one dominates.  With latency rewarding resident key/value tiles
+     and energy indifferent to them, any m1 = 1 point is dominated by its
+     m1-grown sibling, so the front must include m1 > 1. *)
+  let latency (c : Tileseek.config) =
+    1e6 /. float_of_int (c.Tileseek.m1 * c.Tileseek.m0 * c.Tileseek.p)
+  in
+  let energy (c : Tileseek.config) = float_of_int ((c.Tileseek.p * c.Tileseek.b) + c.Tileseek.d) in
+  let front = Tileseek.pareto ~iterations:100 edge bert_4k ~latency ~energy () in
+  Alcotest.(check bool) "front explores m1 > 1" true
+    (List.exists (fun ((c : Tileseek.config), _, _) -> c.Tileseek.m1 > 1) front)
+
 let prop_search_always_feasible =
   QCheck.Test.make ~name:"search result is always feasible" ~count:8
     QCheck.(int_range 0 1000)
@@ -133,6 +156,8 @@ let () =
           quick "search beats fallback" test_search_beats_fallback;
           quick "search stats" test_search_stats;
           quick "pareto front" test_pareto;
+          quick "divisor thinning" test_thin;
+          quick "pareto explores m1" test_pareto_explores_m1;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_search_always_feasible; prop_greedy_maximal_p ] );
