@@ -94,6 +94,12 @@ let figure_steps () =
       fun () ->
         E.Exp_common.print_header "Section 6.2 headline geomeans (TransFusion vs baselines)";
         List.iter (fun arch -> E.Headline.print (E.Headline.compute ~quick arch)) archs );
+    ( "generation",
+      fun () ->
+        E.Exp_generation.print
+          ~title:"Autoregressive generation: TTFT / per-token latency / energy (cloud)"
+          (E.Exp_generation.sweep ~quick [ Tf_arch.Presets.cloud ]
+             [ Tf_workloads.Presets.bert; llama3 ]) );
   ]
 
 (* Ablations and extension studies (DESIGN.md Section 4 and the paper's

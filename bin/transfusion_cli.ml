@@ -3,6 +3,7 @@
    Subcommands:
      eval      evaluate one (arch, model, seq, strategy) point
      sweep     speedup table across the sequence sweep
+     decode    autoregressive serving sweep (prefill + KV-cache decode)
      search    run TileSeek and report the chosen tiling
      schedule  show the DPipe schedule of the fused layer
      figures   regenerate the paper's figures (also see bench/main.exe) *)
@@ -445,6 +446,64 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Write figure series as CSV files")
     Term.(const run $ obs_term $ dir_arg $ quick_arg)
 
+let decode_cmd =
+  let run obs arch models gen batch strategies iterations quick json =
+    obs @@ fun () ->
+    let module E = Tf_experiments in
+    let models = match models with [] -> [ Tf_workloads.Presets.bert; Tf_workloads.Presets.llama3 ] | ms -> ms in
+    let strategies = match strategies with [] -> E.Exp_generation.default_strategies | ss -> ss in
+    let points =
+      E.Exp_generation.sweep ~quick ~gen ~batch ~strategies ~tileseek_iterations:iterations
+        [ arch ] models
+    in
+    E.Exp_generation.print
+      ~title:
+        (Printf.sprintf "Autoregressive generation on %s (gen=%d, batch=%d)"
+           arch.Tf_arch.Arch.name gen batch)
+      points;
+    match json with
+    | None -> ()
+    | Some path ->
+        E.Export.Json.write ~path (E.Exp_generation.to_json points);
+        Fmt.pr "wrote %s@." path
+  in
+  let models_arg =
+    Arg.(
+      value
+      & opt_all model_conv []
+      & info [ "m"; "model" ]
+          ~docv:"MODEL"
+          ~doc:"Model preset (repeatable; default: BERT and Llama3 — encoder- and decoder-style).")
+  in
+  let gen_arg =
+    Arg.(value & opt int 512 & info [ "gen" ] ~docv:"N" ~doc:"Generated tokens per request.")
+  in
+  let batch_arg =
+    Arg.(value & opt int 16 & info [ "b"; "batch" ] ~docv:"N" ~doc:"Concurrent requests.")
+  in
+  let strategies_arg =
+    Arg.(
+      value
+      & opt_all strategy_conv []
+      & info [ "strategy" ] ~docv:"STRATEGY"
+          ~doc:"Scheduler to evaluate (repeatable; default: FuseMax and TransFusion).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the sweep as a transfusion.generation/1 JSON document to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "decode"
+       ~doc:
+         "Autoregressive serving sweep: TTFT, per-token latency, tokens/sec and energy/token \
+          across prompt lengths (prefill + KV-cache decode)")
+    Term.(
+      const run $ obs_term $ arch_arg $ models_arg $ gen_arg $ batch_arg $ strategies_arg
+      $ iterations_arg $ quick_arg $ json_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info = Cmd.info "transfusion" ~version:"1.0.0" ~doc:"TransFusion end-to-end Transformer scheduling framework" in
@@ -453,6 +512,7 @@ let () =
          sweep_cmd;
          search_cmd;
          schedule_cmd;
+         decode_cmd;
          figures_cmd;
          ablations_cmd;
          structures_cmd;

@@ -3,7 +3,9 @@ open Tf_workloads
 module Buffer_req = Transfusion.Buffer_req
 module Tileseek = Transfusion.Tileseek
 
-let verify_dims ?(name = "tiling") (arch : Arch.t) (w : Workload.t) (d : Buffer_req.dims) =
+let verify_dims ?(name = "tiling") ?kv_len ?(decode = false) (arch : Arch.t) (w : Workload.t)
+    (d : Buffer_req.dims) =
+  let kv_len = Option.value kv_len ~default:w.seq_len in
   let diags = ref [] in
   let error ~code msg = diags := Diagnostic.error ~context:name ~code msg :: !diags in
   let m = w.model in
@@ -26,7 +28,7 @@ let verify_dims ?(name = "tiling") (arch : Arch.t) (w : Workload.t) (d : Buffer_
     in
     divides "b" d.Buffer_req.b w.batch;
     divides "d" d.Buffer_req.d m.Model.d_model;
-    divides "m1*m0" (d.Buffer_req.m1 * d.Buffer_req.m0) w.seq_len;
+    divides "m1*m0" (d.Buffer_req.m1 * d.Buffer_req.m0) kv_len;
     divides "s" d.Buffer_req.s m.Model.ffn_hidden;
     if d.Buffer_req.p > w.seq_len then
       error ~code:"E-TILE-DIVIDE"
@@ -45,14 +47,16 @@ let verify_dims ?(name = "tiling") (arch : Arch.t) (w : Workload.t) (d : Buffer_
            d.Buffer_req.p
            (Pe_array.rows arch.Arch.pe_2d)
            expected_p_row);
-    let need = Buffer_req.worst d and cap = Arch.buffer_elements arch in
-    if not (Buffer_req.fits ~buffer_elements:cap d) then
+    let worst = if decode then Buffer_req.worst_decode else Buffer_req.worst in
+    let fits = if decode then Buffer_req.fits_decode else Buffer_req.fits in
+    let need = worst d and cap = Arch.buffer_elements arch in
+    if not (fits ~buffer_elements:cap d) then
       error ~code:"E-TILE-BUFFER"
         (Printf.sprintf "worst module needs %.0f elements, buffer holds %d (Table 2)" need cap)
   end;
   List.rev !diags
 
-let verify ?(name = "tiling") arch (w : Workload.t) (c : Tileseek.config) =
+let verify ?(name = "tiling") ?kv_len ?decode arch (w : Workload.t) (c : Tileseek.config) =
   let m = w.model in
   let dims =
     {
@@ -68,4 +72,4 @@ let verify ?(name = "tiling") arch (w : Workload.t) (c : Tileseek.config) =
       p_row = (if c.Tileseek.p >= 1 then Tileseek.p_row arch c else 1);
     }
   in
-  verify_dims ~name arch w dims
+  verify_dims ~name ?kv_len ?decode arch w dims

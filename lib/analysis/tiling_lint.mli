@@ -20,17 +20,26 @@
 
 val verify_dims :
   ?name:string ->
+  ?kv_len:int ->
+  ?decode:bool ->
   Tf_arch.Arch.t ->
   Tf_workloads.Workload.t ->
   Transfusion.Buffer_req.dims ->
   Diagnostic.t list
-(** Check fully-specified tile dims (including the claimed [p_row]). *)
+(** Check fully-specified tile dims (including the claimed [p_row]).
+    [kv_len] (default: the workload's sequence) is the key/value length
+    the [m1*m0] slice must divide — the cache length of a decode step;
+    [decode] (default false) applies the stricter decode buffer model
+    ({!Transfusion.Buffer_req.worst_decode}). *)
 
 val verify :
   ?name:string ->
+  ?kv_len:int ->
+  ?decode:bool ->
   Tf_arch.Arch.t ->
   Tf_workloads.Workload.t ->
   Transfusion.Tileseek.config ->
   Diagnostic.t list
 (** Check a TileSeek configuration; [p_row] and the model dims are
-    derived the same way {!Transfusion.Tileseek.dims} derives them. *)
+    derived the same way {!Transfusion.Tileseek.dims} derives them.
+    [kv_len]/[decode] as in {!verify_dims}. *)

@@ -22,12 +22,9 @@ let lint_builtins ?workload () =
   let extents = Layer_costs.tile_extents w ~m0:(Extents.find (Workload.extents w) "m0") in
   List.concat_map (fun (_, cascade) -> Ir_lint.lint ~extents cascade) (builtin_cascades ())
 
-(* The balanced inner key/value tile the strategies use by default,
-   shrunk until it divides the key/value length. *)
-let default_m0 (w : Workload.t) ~kv_len =
-  let preferred = Extents.find (Workload.extents w) "m0" in
-  let rec shrink v = if v <= 1 || kv_len mod v = 0 then Int.max 1 v else shrink (v / 2) in
-  shrink (Int.min preferred kv_len)
+(* The balanced inner key/value tile the strategies use by default —
+   must stay in sync with [Strategies.make_ctx]. *)
+let default_m0 (_w : Workload.t) ~kv_len = Workload.default_m0 kv_len
 
 let layer_cascade (w : Workload.t) ~include_ffn =
   if include_ffn then Cascades.full_layer w.model.Model.activation
@@ -39,6 +36,7 @@ let attention_tag = function
   | Strategies.Self -> "self"
   | Strategies.Causal_self -> "causal"
   | Strategies.Cross { kv_len } -> Printf.sprintf "cross%d" kv_len
+  | Strategies.Decode { kv_len } -> Printf.sprintf "decode%d" kv_len
 
 let pipeline_cache : (string, Diagnostic.t list) Hashtbl.t = Hashtbl.create 64
 
@@ -46,8 +44,11 @@ let pipeline ?(attention = Strategies.Self) ?(include_ffn = true) ?m0 (arch : Tf
     (w : Workload.t) =
   let kv_len =
     match attention with
-    | Strategies.Cross { kv_len } -> kv_len
+    | Strategies.Cross { kv_len } | Strategies.Decode { kv_len } -> kv_len
     | Strategies.Self | Strategies.Causal_self -> w.seq_len
+  in
+  let kv_proj_len =
+    match attention with Strategies.Decode _ -> w.seq_len | _ -> kv_len
   in
   let causal = attention = Strategies.Causal_self in
   let m0 = match m0 with Some v -> v | None -> default_m0 w ~kv_len in
@@ -66,7 +67,7 @@ let pipeline ?(attention = Strategies.Self) ?(include_ffn = true) ?m0 (arch : Tf
         Printf.sprintf "dpipe(%s/%s/%s)" arch.Tf_arch.Arch.name (Cascade.name cascade)
           (attention_tag attention)
       in
-      let totals = Array.of_list (Layer_costs.op_totals ~m0 ~kv_len ~causal w cascade) in
+      let totals = Array.of_list (Layer_costs.op_totals ~m0 ~kv_len ~kv_proj_len ~causal w cascade) in
       let g = Cascade.to_dag cascade in
       let load n = totals.(n).Layer_costs.total /. 256. in
       let matrix n = Einsum.is_matrix_op totals.(n).Layer_costs.op in
@@ -76,19 +77,27 @@ let pipeline ?(attention = Strategies.Self) ?(include_ffn = true) ?m0 (arch : Tf
       Hashtbl.add pipeline_cache key diags;
       diags
 
-let strategy_result (arch : Tf_arch.Arch.t) (w : Workload.t) (r : Strategies.result) =
+let strategy_result ?(attention = Strategies.Self) ?include_ffn (arch : Tf_arch.Arch.t)
+    (w : Workload.t) (r : Strategies.result) =
+  let kv_len =
+    match attention with
+    | Strategies.Cross { kv_len } | Strategies.Decode { kv_len } -> kv_len
+    | Strategies.Self | Strategies.Causal_self -> w.seq_len
+  in
+  let decode = match attention with Strategies.Decode _ -> true | _ -> false in
   let tiling_diags =
     match r.Strategies.tiling with
     | None -> []
     | Some config ->
         let name =
-          Printf.sprintf "tiling(%s/%s/%d)" arch.Tf_arch.Arch.name w.model.Model.name w.seq_len
+          Printf.sprintf "tiling(%s/%s/%d/%s)" arch.Tf_arch.Arch.name w.model.Model.name w.seq_len
+            (attention_tag attention)
         in
-        Tiling_lint.verify ~name arch w config
+        Tiling_lint.verify ~name ~kv_len ~decode arch w config
   in
   let sched_diags =
     match r.Strategies.strategy with
-    | Strategies.Transfusion -> pipeline arch w
+    | Strategies.Transfusion -> pipeline ~attention ?include_ffn arch w
     | Strategies.Unfused | Strategies.Flat | Strategies.Fusemax | Strategies.Fusemax_layerfuse ->
         []
   in

@@ -30,6 +30,8 @@ val pipeline :
     memoised per (arch, workload, attention, ffn, m0). *)
 
 val strategy_result :
+  ?attention:Transfusion.Strategies.attention ->
+  ?include_ffn:bool ->
   Tf_arch.Arch.t ->
   Tf_workloads.Workload.t ->
   Transfusion.Strategies.result ->
@@ -37,7 +39,10 @@ val strategy_result :
 (** Verify everything checkable about an evaluation result: the chosen
     tiling (when present) against {!Tiling_lint}, and — for the
     TransFusion strategy, whose latency rests on a DPipe schedule — the
-    {!pipeline} checks. *)
+    {!pipeline} checks.  [attention] (default [Self]) must match the
+    flavour the result was evaluated under: it selects the key/value
+    length the tiling is checked against and the decode buffer model for
+    decode-step results. *)
 
 val check_presets : ?quick:bool -> unit -> Diagnostic.t list
 (** The lint battery over the built-in presets: IR lints of the built-in

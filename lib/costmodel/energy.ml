@@ -33,6 +33,14 @@ let add a b =
 
 let zero = { dram_pj = 0.; buffer_pj = 0.; regfile_pj = 0.; compute_pj = 0. }
 
+let scale k b =
+  {
+    dram_pj = k *. b.dram_pj;
+    buffer_pj = k *. b.buffer_pj;
+    regfile_pj = k *. b.regfile_pj;
+    compute_pj = k *. b.compute_pj;
+  }
+
 let fractions b =
   let total = total_pj b in
   let f x = if total > 0. then x /. total else 0. in

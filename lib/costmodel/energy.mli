@@ -19,6 +19,10 @@ val total_pj : breakdown -> float
 val add : breakdown -> breakdown -> breakdown
 val zero : breakdown
 
+val scale : float -> breakdown -> breakdown
+(** Component-wise scaling — e.g. a per-step breakdown times a token
+    count when aggregating a decode sweep in closed form. *)
+
 val fractions : breakdown -> (string * float) list
 (** [(component, share)] for DRAM / Global Buffer / Register File / PE, in
     that order; shares sum to 1 for a non-zero breakdown. *)

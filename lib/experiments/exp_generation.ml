@@ -1,0 +1,119 @@
+open Tf_workloads
+module Strategies = Transfusion.Strategies
+module Decode = Transfusion.Decode
+module Tileseek = Transfusion.Tileseek
+module Energy = Tf_costmodel.Energy
+
+type point = { arch : string; metrics : Decode.metrics }
+
+let default_strategies = [ Strategies.Fusemax; Strategies.Transfusion ]
+
+(* Decode results bypass the Exp_common summary cache (its key has no
+   generation fields), so every fresh metrics record is verified here
+   the way Exp_common.evaluate verifies encoder results: the prefill
+   under its causal flavour and both decode endpoints under theirs. *)
+let verify (arch : Tf_arch.Arch.t) (m : Decode.metrics) =
+  let spec = m.Decode.spec in
+  let what stage =
+    Printf.sprintf "generation %s (%s, %s)" stage (Strategies.name m.Decode.strategy)
+      (Generation.label spec)
+  in
+  Exp_common.require_clean (what "prefill")
+    (Tf_analysis.Verify.strategy_result ~attention:Strategies.Causal_self arch
+       (Generation.prefill_workload spec) m.Decode.prefill);
+  let dw = Generation.decode_workload spec in
+  Exp_common.require_clean (what "decode@first")
+    (Tf_analysis.Verify.strategy_result
+       ~attention:(Strategies.Decode { kv_len = Generation.kv_first spec })
+       arch dw m.Decode.first);
+  Exp_common.require_clean (what "decode@last")
+    (Tf_analysis.Verify.strategy_result
+       ~attention:(Strategies.Decode { kv_len = Generation.kv_last spec })
+       arch dw m.Decode.last)
+
+let point ?tileseek_iterations (arch : Tf_arch.Arch.t) spec strategy =
+  let m = Decode.evaluate ?tileseek_iterations arch spec strategy in
+  verify arch m;
+  { arch = arch.Tf_arch.Arch.name; metrics = m }
+
+let prompts ~quick = Exp_common.seq_sweep ~quick
+
+let sweep ?(quick = false) ?gen ?batch ?(strategies = default_strategies) ?tileseek_iterations
+    archs models =
+  let specs =
+    List.concat_map
+      (fun model ->
+        List.map (fun (_, prompt) -> Generation.v ?batch ?gen model ~prompt) (prompts ~quick))
+      models
+  in
+  let grid =
+    List.concat_map
+      (fun arch -> List.concat_map (fun spec -> List.map (fun s -> (arch, spec, s)) strategies) specs)
+      archs
+  in
+  Exp_common.par_map (fun (arch, spec, s) -> point ?tileseek_iterations arch spec s) grid
+
+let json_of_tiling = function
+  | None -> Export.Json.Null
+  | Some (c : Tileseek.config) ->
+      Export.Json.(
+        Obj
+          [
+            ("b", Int c.Tileseek.b);
+            ("d", Int c.Tileseek.d);
+            ("p", Int c.Tileseek.p);
+            ("m1", Int c.Tileseek.m1);
+            ("m0", Int c.Tileseek.m0);
+            ("s", Int c.Tileseek.s);
+          ])
+
+let json_of_point p =
+  let m = p.metrics in
+  let spec = m.Decode.spec in
+  Export.Json.(
+    Obj
+      [
+        ("arch", Str p.arch);
+        ("model", Str spec.Generation.model.Model.name);
+        ("strategy", Str (Strategies.name m.Decode.strategy));
+        ("prompt", Int spec.Generation.prompt);
+        ("gen", Int spec.Generation.gen);
+        ("batch", Int spec.Generation.batch);
+        ("ttft_s", Num m.Decode.ttft_s);
+        ("token_s_first", Num m.Decode.token_s_first);
+        ("token_s_last", Num m.Decode.token_s_last);
+        ("decode_s", Num m.Decode.decode_s);
+        ("total_s", Num m.Decode.total_s);
+        ("tokens_per_s", Num m.Decode.tokens_per_s);
+        ("energy_per_token_pj", Num m.Decode.energy_per_token_pj);
+        ("decode_energy_pj", Num (Energy.total_pj m.Decode.decode_energy));
+        ("total_energy_pj", Num m.Decode.total_energy_pj);
+        ("decode_tiling", json_of_tiling m.Decode.decode_tiling);
+      ])
+
+let schema = "transfusion.generation/1"
+
+let to_json points =
+  Export.Json.(Obj [ ("schema", Str schema); ("points", List (List.map json_of_point points)) ])
+
+let print ~title points =
+  Exp_common.print_header title;
+  let columns = [ "ttft(ms)"; "tok0(ms)"; "tokN(ms)"; "tok/s"; "uJ/tok"; "total(s)" ] in
+  let rows =
+    List.map
+      (fun p ->
+        let m = p.metrics in
+        ( Printf.sprintf "%s/%s/%s/%s" p.arch m.Decode.spec.Generation.model.Model.name
+            (Strategies.name m.Decode.strategy)
+            (Generation.label m.Decode.spec),
+          [
+            1e3 *. m.Decode.ttft_s;
+            1e3 *. m.Decode.token_s_first;
+            1e3 *. m.Decode.token_s_last;
+            m.Decode.tokens_per_s;
+            m.Decode.energy_per_token_pj /. 1e6;
+            m.Decode.total_s;
+          ] ))
+      points
+  in
+  Exp_common.print_series_table ~row_label:"arch/model/strategy/gen" ~columns ~rows ()

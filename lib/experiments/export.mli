@@ -9,6 +9,28 @@ val write_file : path:string -> string -> unit
 (** Write contents to [path], creating parent directories as needed.
     @raise Sys_error on I/O failure. *)
 
+(** Minimal JSON document builder — enough for the experiment exports
+    and golden snapshots without an external dependency.  Serialisation
+    is deterministic (stable field order, fixed [%.12g] float format,
+    2-space indentation) so emitted documents diff cleanly; NaN and
+    infinities serialise as [null]. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : ?indent:int -> t -> string
+  (** Pretty-printed document with a trailing newline. *)
+
+  val write : path:string -> t -> unit
+  (** {!to_string} through {!write_file}. *)
+end
+
 val bar_chart : ?width:int -> title:string -> (string * float) list -> string
 (** Horizontal ASCII bars scaled to the maximum value ([width] bar
     columns, default 48), e.g.

@@ -34,6 +34,24 @@ let model_wise ?(seq = Exp_common.seq_64k) arch =
     (fun (model : Model.t) -> point arch model.Model.name (Workload.v model ~seq_len:seq))
     Exp_common.models
 
+let to_json points =
+  Export.Json.(
+    List
+      (List.map
+         (fun p ->
+           Obj
+             [
+               ("arch", Str p.arch);
+               ("label", Str p.label);
+               ( "utilization",
+                 Obj
+                   (List.map
+                      (fun (s, u2, u1) ->
+                        (Strategies.name s, Obj [ ("util_2d", Num u2); ("util_1d", Num u1) ]))
+                      p.per_strategy) );
+             ])
+         points))
+
 let print ~title points =
   Exp_common.print_header title;
   let columns =

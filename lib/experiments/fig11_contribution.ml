@@ -23,6 +23,36 @@ let scaling ?(quick = false) archs model =
         (Exp_common.seq_sweep ~quick))
     archs
 
+let kind_name = function
+  | Tf_costmodel.Phase.Qkv -> "qkv"
+  | Tf_costmodel.Phase.Mha -> "mha"
+  | Tf_costmodel.Phase.Layernorm -> "layernorm"
+  | Tf_costmodel.Phase.Ffn -> "ffn"
+  | Tf_costmodel.Phase.Fused_stack -> "fused_stack"
+
+let to_json points =
+  Export.Json.(
+    List
+      (List.map
+         (fun p ->
+           Obj
+             [
+               ("arch", Str p.arch);
+               ("label", Str p.label);
+               ( "entries",
+                 Obj
+                   (List.map
+                      (fun (e : Speedup.entry) ->
+                        ( kind_name e.Speedup.kind,
+                          Obj
+                            [
+                              ("speedup", Num e.Speedup.speedup);
+                              ("contribution", Num e.Speedup.contribution);
+                            ] ))
+                      p.entries) );
+             ])
+         points))
+
 let print ~title points =
   Exp_common.print_header title;
   let columns =

@@ -31,6 +31,19 @@ let model_wise ?(seq = Exp_common.seq_64k) (arch : Tf_arch.Arch.t) =
       })
     Exp_common.models
 
+let to_json points =
+  Export.Json.(
+    List
+      (List.map
+         (fun p ->
+           Obj
+             [
+               ("arch", Str p.arch);
+               ("label", Str p.label);
+               ("energy", Obj (List.map (fun (s, v) -> (Strategies.name s, Num v)) p.energy));
+             ])
+         points))
+
 let print ~title points =
   Exp_common.print_header title;
   let columns = List.map Strategies.name Strategies.all in

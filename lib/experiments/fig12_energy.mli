@@ -11,4 +11,8 @@ type point = {
 
 val scaling : ?quick:bool -> Tf_arch.Arch.t list -> Tf_workloads.Model.t -> point list
 val model_wise : ?seq:int -> Tf_arch.Arch.t -> point list
+
+val to_json : point list -> Export.Json.t
+(** [{arch, label, energy: {strategy: ratio}}] (Unfused = 1.0). *)
+
 val print : title:string -> point list -> unit

@@ -35,6 +35,21 @@ let scaling ?(quick = false) ?(strategies = [ Strategies.Transfusion; Strategies
         (Exp_common.seq_sweep ~quick))
     archs
 
+let to_json points =
+  Export.Json.(
+    List
+      (List.map
+         (fun p ->
+           Obj
+             [
+               ("arch", Str p.arch);
+               ("label", Str p.label);
+               ("strategy", Str (Strategies.name p.strategy));
+               ("fractions", Obj (List.map (fun (k, v) -> (k, Num v)) p.fractions));
+               ("total_pj", Num p.total_pj);
+             ])
+         points))
+
 let print ~title points =
   Exp_common.print_header title;
   let columns = [ "DRAM%"; "GlobalBuf%"; "RegFile%"; "PE%"; "total(J)" ] in

@@ -10,4 +10,5 @@ let scaling ?quick model = Fig8_speedup.scaling ?quick variants model
 
 let model_wise ?seq () = List.concat_map (fun arch -> Fig8_speedup.model_wise ?seq arch) variants
 
+let to_json = Fig8_speedup.to_json
 let print = Fig8_speedup.print

@@ -37,6 +37,17 @@ let ordering_holds ?quick ?model arch =
     (fun baseline -> List.for_all (fun r -> r >= 0.99) (ratios ?quick ?model arch baseline))
     [ Strategies.Unfused; Strategies.Flat; Strategies.Fusemax; Strategies.Fusemax_layerfuse ]
 
+let to_json s =
+  Export.Json.(
+    Obj
+      [
+        ("arch", Str s.arch);
+        ("vs_layerfuse", Num s.vs_layerfuse);
+        ("vs_fusemax", Num s.vs_fusemax);
+        ("vs_flat", Num s.vs_flat);
+        ("vs_unfused", Num s.vs_unfused);
+      ])
+
 let print s =
   Printf.printf
     "%s: TransFusion geomean speedup: %.2fx vs FuseMax+LayerFuse, %.2fx vs FuseMax, %.2fx vs FLAT, %.2fx vs Unfused\n"

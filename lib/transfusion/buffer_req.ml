@@ -37,7 +37,22 @@ let worst dims =
 
 let fits ~buffer_elements dims = worst dims <= float_of_int buffer_elements
 
-let of_workload (w : Tf_workloads.Workload.t) ~b ~d ~p ~m1 ~m0 ~s ~p_row =
+(* Decode-step extension of the Table 2 MHA row: the resident K/V per
+   pass is a slice of a DRAM-backed cache rather than a freshly produced
+   tile, so the tile additionally holds one in-flight cache tile of each
+   of K and V (double buffering the stream against the attention loop)
+   plus the newly appended key/value position. *)
+let kv_cache_tile { b; m0; h; e; f; _ } =
+  fi b *. fi h *. (fi e +. fi f) *. (fi m0 +. 1.)
+
+let mha_decode dims = mha dims +. kv_cache_tile dims
+
+let worst_decode dims =
+  List.fold_left Float.max 0. [ qkv dims; mha_decode dims; add_layernorm dims; ffn dims ]
+
+let fits_decode ~buffer_elements dims = worst_decode dims <= float_of_int buffer_elements
+
+let of_workload ?kv_len (w : Tf_workloads.Workload.t) ~b ~d ~p ~m1 ~m0 ~s ~p_row =
   if b < 1 || d < 1 || p < 1 || m1 < 1 || m0 < 1 || s < 1 || p_row < 1 then
     invalid_arg "Buffer_req.of_workload: non-positive";
   let m = w.model in
@@ -47,7 +62,7 @@ let of_workload (w : Tf_workloads.Workload.t) ~b ~d ~p ~m1 ~m0 ~s ~p_row =
   in
   check "b" b w.batch;
   check "d" d m.Tf_workloads.Model.d_model;
-  check "m1*m0" (m1 * m0) w.seq_len;
+  check "m1*m0" (m1 * m0) (Option.value kv_len ~default:w.seq_len);
   check "s" s m.Tf_workloads.Model.ffn_hidden;
   {
     b;

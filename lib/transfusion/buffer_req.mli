@@ -41,14 +41,32 @@ val worst : dims -> float
 
 val fits : buffer_elements:int -> dims -> bool
 
+val kv_cache_tile : dims -> float
+(** [B*H*(E+F)*(M0 + 1)]: the extra residency of a decode step whose K/V
+    come from a DRAM-backed cache — one in-flight [M0]-tile of K and of V
+    (double buffering the cache stream against the attention loop) plus
+    the newly appended key/value position. *)
+
+val mha_decode : dims -> float
+(** [mha + kv_cache_tile] — the Table-2-style MHA row of a decode step. *)
+
+val worst_decode : dims -> float
+(** Like {!worst} with the MHA row replaced by {!mha_decode}. *)
+
+val fits_decode : buffer_elements:int -> dims -> bool
+
 val of_workload :
+  ?kv_len:int ->
   Tf_workloads.Workload.t ->
   b:int -> d:int -> p:int -> m1:int -> m0:int -> s:int -> p_row:int -> dims
 (** Tile dims for a workload over the TileSeek search space [B,D,M1,P,S]
     (plus the [m0] inner split).  Every field is the {e resident} tile
     factor: [m1*m0] is the key/value slice held per pass, [d] the
     model-dimension slice (QKV weights and input stream in [D/d] passes
-    with partial-sum accumulation), [s] the FFN-hidden slice.
+    with partial-sum accumulation), [s] the FFN-hidden slice.  [kv_len]
+    is the key/value sequence the [m1*m0] slice must divide; it defaults
+    to the workload's own sequence and differs from it only for
+    cross-attention and decode (KV-cache) evaluations.
     @raise Invalid_argument when a factor does not divide its dimension
     or any size is non-positive. *)
 

@@ -27,28 +27,36 @@ let tile_extents (w : Workload.t) ~m0 =
    anything touched by the m1 loop — an operation indexed by m0, or a
    running-state update of the MHA loop body — executes once per key/value
    tile; the rest once.  Causal masking halves the attention-loop work
-   (each query attends on average to half the keys). *)
-let instance_count ~kv_len ~causal ~m0 (op : Einsum.t) =
+   (each query attends on average to half the keys).  The per-m0-tile K/V
+   projections (BK/BV — m0-indexed but outside the attention loop) cover
+   only [kv_proj_len] fresh positions: for self/cross attention that is
+   the whole key/value sequence, but a decode step projects a single new
+   position while its attention loop still walks the full cache, so their
+   count is the (possibly fractional) [kv_proj_len / m0]. *)
+let instance_count ~kv_len ~kv_proj_len ~causal ~m0 (op : Einsum.t) =
   let kv_tiles = float_of_int (kv_len / m0) in
+  let proj_tiles = float_of_int kv_proj_len /. float_of_int m0 in
   let in_mha_loop =
     List.mem op.Einsum.name Cascades.mha_op_names
     && not (List.mem op.Einsum.name Cascades.final_only_ops)
   in
   let indexed_by_m0 = List.mem "m0" (Einsum.all_dims op) in
   if in_mha_loop then if causal then 0.5 *. kv_tiles else kv_tiles
-  else if indexed_by_m0 then kv_tiles
+  else if indexed_by_m0 then proj_tiles
   else 1.
 
-let op_totals ?m0 ?kv_len ?(causal = false) (w : Workload.t) cascade =
+let op_totals ?m0 ?kv_len ?kv_proj_len ?(causal = false) (w : Workload.t) cascade =
   let m0 = match m0 with Some v -> v | None -> default_m0 w in
   let kv_len = Option.value kv_len ~default:w.seq_len in
+  let kv_proj_len = Option.value kv_proj_len ~default:kv_len in
   if m0 < 1 || kv_len mod m0 <> 0 then
     invalid_arg (Printf.sprintf "Layer_costs.op_totals: m0=%d does not divide kv_len=%d" m0 kv_len);
+  if kv_proj_len < 1 then invalid_arg "Layer_costs.op_totals: kv_proj_len < 1";
   let extents = tile_extents w ~m0 in
   let batch = float_of_int w.batch in
   List.map
     (fun op ->
-      let instances = batch *. instance_count ~kv_len ~causal ~m0 op in
+      let instances = batch *. instance_count ~kv_len ~kv_proj_len ~causal ~m0 op in
       { op; total = instances *. Einsum.compute_load extents op; instances })
     (Cascade.ops cascade)
 
@@ -59,16 +67,18 @@ let of_op_totals totals =
       else { acc with vector = acc.vector +. total })
     zero totals
 
-let qkv ?m0 ?kv_len w = of_op_totals (op_totals ?m0 ?kv_len w (Cascades.qkv ()))
+let qkv ?m0 ?kv_len ?kv_proj_len w =
+  of_op_totals (op_totals ?m0 ?kv_len ?kv_proj_len w (Cascades.qkv ()))
+
 let mha ?m0 ?kv_len ?causal w = of_op_totals (op_totals ?m0 ?kv_len ?causal w (Cascades.mha ()))
 let add_layernorm w = of_op_totals (op_totals w (Cascades.add_layernorm ()))
 
 let ffn (w : Workload.t) =
   of_op_totals (op_totals w (Cascades.ffn w.model.Model.activation))
 
-let total ?m0 ?kv_len ?causal ?(include_ffn = true) w =
+let total ?m0 ?kv_len ?kv_proj_len ?causal ?(include_ffn = true) w =
   let modules =
-    [ qkv ?m0 ?kv_len w; mha ?m0 ?kv_len ?causal w; add_layernorm w ]
+    [ qkv ?m0 ?kv_len ?kv_proj_len w; mha ?m0 ?kv_len ?causal w; add_layernorm w ]
     @ if include_ffn then [ ffn w ] else []
   in
   List.fold_left add_loads zero modules

@@ -31,6 +31,7 @@ type op_total = { op : Tf_einsum.Einsum.t; total : float; instances : float }
 val op_totals :
   ?m0:int ->
   ?kv_len:int ->
+  ?kv_proj_len:int ->
   ?causal:bool ->
   Tf_workloads.Workload.t ->
   Tf_einsum.Cascade.t ->
@@ -38,20 +39,30 @@ val op_totals :
 (** Per-operation totals for one layer of the workload.  [m0] defaults to
     the workload's balanced split.  [kv_len] is the key/value sequence
     length (defaults to the workload's own sequence — pass the encoder
-    length for cross-attention sublayers).  [causal] halves the
+    length for cross-attention sublayers).  [kv_proj_len] is the number of
+    key/value positions actually {e projected} this pass (defaults to
+    [kv_len]); a decode step projects one fresh position while attending
+    over the whole resident cache, so its per-tile K/V projections get a
+    fractional [kv_proj_len / m0] instance count.  [causal] halves the
     attention-loop work: a masked decoder query attends on average to
     half the keys.  Operation order follows the cascade. *)
 
 val of_op_totals : op_total list -> loads
 (** Split into matrix/vector classes. *)
 
-val qkv : ?m0:int -> ?kv_len:int -> Tf_workloads.Workload.t -> loads
+val qkv : ?m0:int -> ?kv_len:int -> ?kv_proj_len:int -> Tf_workloads.Workload.t -> loads
 val mha : ?m0:int -> ?kv_len:int -> ?causal:bool -> Tf_workloads.Workload.t -> loads
 val add_layernorm : Tf_workloads.Workload.t -> loads
 val ffn : Tf_workloads.Workload.t -> loads
 
 val total :
-  ?m0:int -> ?kv_len:int -> ?causal:bool -> ?include_ffn:bool -> Tf_workloads.Workload.t -> loads
+  ?m0:int ->
+  ?kv_len:int ->
+  ?kv_proj_len:int ->
+  ?causal:bool ->
+  ?include_ffn:bool ->
+  Tf_workloads.Workload.t ->
+  loads
 (** Sum over the modules of one layer ([include_ffn] defaults to true). *)
 
 val macs : op_total list -> float

@@ -7,7 +7,7 @@ module Extents = Tf_einsum.Extents
 
 type t = Unfused | Flat | Fusemax | Fusemax_layerfuse | Transfusion
 
-type attention = Self | Causal_self | Cross of { kv_len : int }
+type attention = Self | Causal_self | Cross of { kv_len : int } | Decode of { kv_len : int }
 
 type objective = Latency_obj | Energy_obj | Edp_obj
 
@@ -56,10 +56,14 @@ type ctx = {
   kv_len : int;  (* key/value sequence length *)
   n_kv : float;
   a_kv : float;  (* key/value activation volume B*KV*D *)
+  kv_proj_len : int;  (* key/value positions projected this pass *)
+  a_proj : float;  (* projected key/value activation volume B*KV_PROJ*D *)
   causal : bool;
   include_ffn : bool;
   objective : objective;
 }
+
+let is_decode = function Decode _ -> true | Self | Causal_self | Cross _ -> false
 
 let make_ctx ?(attention = Self) ?(include_ffn = true) ?layers ?(objective = Latency_obj)
     (arch : Arch.t) (w : Workload.t) =
@@ -68,14 +72,20 @@ let make_ctx ?(attention = Self) ?(include_ffn = true) ?layers ?(objective = Lat
   let n = fi w.seq_len and bsz = fi w.batch in
   let d = fi m.Model.d_model and h = fi m.Model.heads and ef = fi m.Model.head_dim in
   let s = fi m.Model.ffn_hidden in
-  let kv_len = match attention with Cross { kv_len } -> kv_len | Self | Causal_self -> w.seq_len in
-  let causal = attention = Causal_self in
-  (* The inner key/value tile must divide the key/value sequence. *)
-  let m0 =
-    let preferred = Extents.find (Workload.extents w) "m0" in
-    let rec shrink v = if v <= 1 || kv_len mod v = 0 then Int.max 1 v else shrink (v / 2) in
-    shrink (Int.min preferred kv_len)
+  let kv_len =
+    match attention with
+    | Cross { kv_len } | Decode { kv_len } -> kv_len
+    | Self | Causal_self -> w.seq_len
   in
+  if kv_len < 1 then invalid_arg "Strategies.make_ctx: kv_len must be positive";
+  (* Key/value positions whose projections run this pass: the whole
+     key/value sequence, except in a decode step, which appends only the
+     workload's own (single-position) query to a pre-existing cache. *)
+  let kv_proj_len = match attention with Decode _ -> w.seq_len | _ -> kv_len in
+  let causal = attention = Causal_self in
+  (* The inner key/value tile is the balanced split of the key/value
+     sequence — the cache length for a decode step. *)
+  let m0 = Workload.default_m0 kv_len in
   let n_kv = fi kv_len in
   let causal_factor = if causal then 0.5 else 1. in
   {
@@ -98,6 +108,8 @@ let make_ctx ?(attention = Self) ?(include_ffn = true) ?layers ?(objective = Lat
     kv_len;
     n_kv;
     a_kv = bsz *. n_kv *. d;
+    kv_proj_len;
+    a_proj = bsz *. fi kv_proj_len *. d;
     causal;
     include_ffn;
     objective;
@@ -122,7 +134,10 @@ let matmul_reads ctx ~rows ~inner ~cols =
    cascade, used for buffer/register-file energy accounting. *)
 let io_volumes ctx cascade =
   let extents = Layer_costs.tile_extents ctx.w ~m0:ctx.m0 in
-  let totals = Layer_costs.op_totals ~m0:ctx.m0 ~kv_len:ctx.kv_len ~causal:ctx.causal ctx.w cascade in
+  let totals =
+    Layer_costs.op_totals ~m0:ctx.m0 ~kv_len:ctx.kv_len ~kv_proj_len:ctx.kv_proj_len
+      ~causal:ctx.causal ctx.w cascade
+  in
   List.fold_left
     (fun (reads, writes) { Layer_costs.op; instances; _ } ->
       let vol r = float_of_int (Extents.volume extents r) in
@@ -140,13 +155,13 @@ let module_cascades ctx =
 
 let module_loads ctx kind =
   match kind with
-  | Phase.Qkv -> Layer_costs.qkv ~m0:ctx.m0 ~kv_len:ctx.kv_len ctx.w
+  | Phase.Qkv -> Layer_costs.qkv ~m0:ctx.m0 ~kv_len:ctx.kv_len ~kv_proj_len:ctx.kv_proj_len ctx.w
   | Phase.Mha -> Layer_costs.mha ~m0:ctx.m0 ~kv_len:ctx.kv_len ~causal:ctx.causal ctx.w
   | Phase.Layernorm -> Layer_costs.add_layernorm ctx.w
   | Phase.Ffn -> Layer_costs.ffn ctx.w
   | Phase.Fused_stack ->
-      Layer_costs.total ~m0:ctx.m0 ~kv_len:ctx.kv_len ~causal:ctx.causal
-        ~include_ffn:ctx.include_ffn ctx.w
+      Layer_costs.total ~m0:ctx.m0 ~kv_len:ctx.kv_len ~kv_proj_len:ctx.kv_proj_len
+        ~causal:ctx.causal ~include_ffn:ctx.include_ffn ctx.w
 
 let loads_ops (l : Layer_costs.loads) = l.matrix +. l.vector
 
@@ -199,7 +214,10 @@ let add_exec (a : Phase.execution) (b : Phase.execution) =
 let nominal_epochs = 256.
 
 let pipelined_exec ?mode ctx cascade =
-  let totals = Layer_costs.op_totals ~m0:ctx.m0 ~kv_len:ctx.kv_len ~causal:ctx.causal ctx.w cascade in
+  let totals =
+    Layer_costs.op_totals ~m0:ctx.m0 ~kv_len:ctx.kv_len ~kv_proj_len:ctx.kv_proj_len
+      ~causal:ctx.causal ctx.w cascade
+  in
   let arr = Array.of_list totals in
   let g = Cascade.to_dag cascade in
   let load node = arr.(node).Layer_costs.total /. nominal_epochs in
@@ -252,6 +270,7 @@ let attention_tag = function
   | Self -> "self"
   | Causal_self -> "causal"
   | Cross { kv_len } -> Printf.sprintf "cross%d" kv_len
+  | Decode { kv_len } -> Printf.sprintf "decode%d" kv_len
 
 (* Presets share names with ablation variants that tweak individual
    parameters (e.g. [Ablations.with_effs]), so the key must fingerprint
@@ -296,12 +315,15 @@ let base_traffic _ctx ~dram_reads ~dram_writes ~buffer_io ~regfile_io loads =
 let scale_layers ctx phase = Phase.scale ctx.layers phase
 
 let unfused_module_traffic ctx kind =
-  let rows = ctx.bsz *. ctx.n and kv_rows = ctx.bsz *. ctx.n_kv in
+  (* K/V projections touch only the positions projected this pass (the
+     whole key/value sequence, or the single appended position of a
+     decode step); attention reads the full resident cache regardless. *)
+  let rows = ctx.bsz *. ctx.n and proj_rows = ctx.bsz *. float_of_int ctx.kv_proj_len in
   match kind with
   | Phase.Qkv ->
       ( matmul_reads ctx ~rows ~inner:ctx.d ~cols:ctx.d
-        +. (2. *. matmul_reads ctx ~rows:kv_rows ~inner:ctx.d ~cols:ctx.d),
-        ctx.a +. (2. *. ctx.a_kv) )
+        +. (2. *. matmul_reads ctx ~rows:proj_rows ~inner:ctx.d ~cols:ctx.d),
+        ctx.a +. (2. *. ctx.a_proj) )
   | Phase.Mha ->
       (* Q, K and V stream in; scores stream out once, back in for the max
          pass, out and in again around the exponentiation/normalisation,
@@ -391,7 +413,10 @@ let fused_stack_traffic ctx (config : Tileseek.config) loads =
   let per_layer_reads =
     weight_reads +. (kv_passes *. 2. *. ctx.a_kv *. causal_factor ctx)
   in
-  let per_layer_writes = 2. *. ctx.a_kv in
+  (* Only freshly projected K/V rows are written back per layer — for a
+     decode step that is the single appended cache position, not the
+     whole resident cache (which was written by earlier steps). *)
+  let per_layer_writes = 2. *. ctx.a_proj in
   let dram_reads = (ctx.layers *. per_layer_reads) +. ctx.a in
   let dram_writes = (ctx.layers *. per_layer_writes) +. ctx.a in
   let io_r, io_w =
@@ -523,7 +548,9 @@ let layerfuse_phases ?tiling ~tileseek_iterations ctx =
     | Some c -> c
     | None ->
         let evaluate config = tiling_cost ctx [ layerfuse_phase_of ctx config ] in
-        fst (Tileseek.search ~iterations:tileseek_iterations ctx.arch ctx.w ~evaluate ())
+        fst
+          (Tileseek.search ~iterations:tileseek_iterations ~kv_len:ctx.kv_len
+             ~decode:(is_decode ctx.attention) ctx.arch ctx.w ~evaluate ())
   in
   ([ layerfuse_phase_of ctx config ], Some config)
 
@@ -539,7 +566,7 @@ let intra_layer_traffic ctx (config : Tileseek.config) loads =
   in
   let weight_reads =
     matmul_reads ctx ~rows ~inner:ctx.d ~cols:ctx.d
-    +. (2. *. matmul_reads ctx ~rows:(ctx.bsz *. ctx.n_kv) ~inner:ctx.d ~cols:ctx.d)
+    +. (2. *. matmul_reads ctx ~rows:(ctx.bsz *. float_of_int ctx.kv_proj_len) ~inner:ctx.d ~cols:ctx.d)
     +.
     if ctx.include_ffn then
       matmul_reads ctx ~rows ~inner:ctx.d ~cols:ctx.s
@@ -549,7 +576,7 @@ let intra_layer_traffic ctx (config : Tileseek.config) loads =
   let per_layer_reads =
     weight_reads +. (kv_passes *. 2. *. ctx.a_kv *. causal_factor ctx) +. ctx.a
   in
-  let per_layer_writes = ctx.a +. (2. *. ctx.a_kv) in
+  let per_layer_writes = ctx.a +. (2. *. ctx.a_proj) in
   let io_r, io_w =
     List.fold_left
       (fun (r, w) (_, cascade) ->
@@ -626,7 +653,8 @@ let transfusion_phases ?tiling ~tileseek_iterations ctx =
     | None ->
         let evaluate config = tiling_cost ctx [ transfusion_phase ctx config ] in
         let config, _stats =
-          Tileseek.search ~iterations:tileseek_iterations ctx.arch ctx.w ~evaluate ()
+          Tileseek.search ~iterations:tileseek_iterations ~kv_len:ctx.kv_len
+            ~decode:(is_decode ctx.attention) ctx.arch ctx.w ~evaluate ()
         in
         config
   in

@@ -32,12 +32,20 @@
 
 type t = Unfused | Flat | Fusemax | Fusemax_layerfuse | Transfusion
 
-type attention = Self | Causal_self | Cross of { kv_len : int }
+type attention = Self | Causal_self | Cross of { kv_len : int } | Decode of { kv_len : int }
 (** Attention flavour of the evaluated layers.  [Self] is the default
     (encoder); [Causal_self] is masked decoder self-attention (half the
     attention-loop work on average); [Cross kv_len] attends over an
     encoder output of the given length (paper Section 3.2's
-    shape-consistent composition of encoders, decoders and hybrids). *)
+    shape-consistent composition of encoders, decoders and hybrids);
+    [Decode kv_len] is one autoregressive decode step against a resident
+    KV cache of [kv_len] positions — the workload's own (usually
+    single-position) sequence is projected and appended to the cache,
+    while MHA attends over all [kv_len] cached positions.  At
+    [kv_len = seq_len] the Decode cost model degenerates exactly to
+    [Cross]: same projections, same attention, same tiling space, except
+    that TileSeek feasibility additionally charges the in-flight cache
+    tile ({!Buffer_req.fits_decode}). *)
 
 type objective = Latency_obj | Energy_obj | Edp_obj
 (** TileSeek reward (paper Section 5.1: "the resulting energy or latency

@@ -68,6 +68,7 @@ let pp ppf t =
       | Strategies.Self -> "self"
       | Strategies.Causal_self -> "causal"
       | Strategies.Cross { kv_len } -> Printf.sprintf "cross(%d)" kv_len
+      | Strategies.Decode { kv_len } -> Printf.sprintf "decode(%d)" kv_len
     in
     att ^ if s.include_ffn then "+ffn" else ""
   in

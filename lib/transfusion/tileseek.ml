@@ -3,19 +3,35 @@ open Tf_workloads
 
 type config = { b : int; d : int; p : int; m1 : int; m0 : int; s : int }
 
+(* Search space: the workload plus the key/value sequence the resident
+   [m1*m0] slice must divide.  For self attention the two coincide; a
+   decode step searches tiles of its cache length ([kv] large, query
+   length 1) under the stricter decode buffer model. *)
+type space = { arch : Arch.t; w : Workload.t; kv : int; decode : bool }
+
+let space ?kv_len ?(decode = false) arch (w : Workload.t) =
+  let kv = Option.value kv_len ~default:w.seq_len in
+  if kv < 1 then invalid_arg "Tileseek: kv_len must be positive";
+  { arch; w; kv; decode }
+
 (* P' is the intra-tile sequence length processed per PE row (paper
    Section 5.2): the query tile spread over the 2D array's rows. *)
 let p_row (arch : Arch.t) config =
   Int.max 1 (config.p / Pe_array.rows arch.pe_2d)
 
-let dims arch (w : Workload.t) config =
-  Buffer_req.of_workload w ~b:config.b ~d:config.d ~p:config.p ~m1:config.m1 ~m0:config.m0
-    ~s:config.s ~p_row:(p_row arch config)
+let sp_dims sp config =
+  Buffer_req.of_workload ~kv_len:sp.kv sp.w ~b:config.b ~d:config.d ~p:config.p ~m1:config.m1
+    ~m0:config.m0 ~s:config.s ~p_row:(p_row sp.arch config)
 
-let feasible arch (w : Workload.t) config =
-  config.m1 * config.m0 <= w.seq_len
-  && w.seq_len mod (config.m1 * config.m0) = 0
-  && Buffer_req.fits ~buffer_elements:(Arch.buffer_elements arch) (dims arch w config)
+let sp_feasible sp config =
+  config.m1 * config.m0 <= sp.kv
+  && sp.kv mod (config.m1 * config.m0) = 0
+  &&
+  let fits = if sp.decode then Buffer_req.fits_decode else Buffer_req.fits in
+  fits ~buffer_elements:(Arch.buffer_elements sp.arch) (sp_dims sp config)
+
+let dims ?kv_len arch w config = sp_dims (space ?kv_len arch w) config
+let feasible ?kv_len ?decode arch w config = sp_feasible (space ?kv_len ?decode arch w) config
 
 (* Powers of two that divide [n], capped, plus [n] itself when small. *)
 let pow2_divisors ?(cap = max_int) n =
@@ -41,70 +57,87 @@ let thin keep l =
       let arr = Array.of_list l in
       List.init keep (fun i -> arr.(i * (n - 1) / (keep - 1))) |> List.sort_uniq compare
 
-let b_options (w : Workload.t) = pow2_divisors w.batch
-let d_options (w : Workload.t) = thin 12 (all_divisors w.model.Model.d_model)
+let b_options sp = pow2_divisors sp.w.batch
+let d_options sp = thin 12 (all_divisors sp.w.model.Model.d_model)
 
 (* Query tiles need not divide the sequence (the last tile may be ragged),
    so 3*2^k options are offered alongside powers of two: they matter when
    a power of two just misses the Table 2 budget. *)
-let p_options (w : Workload.t) =
-  let pow2 = pow2_divisors ~cap:8192 w.seq_len in
+let p_options sp =
+  let seq = sp.w.seq_len in
+  let pow2 = pow2_divisors ~cap:8192 seq in
   let three_pow2 =
-    List.filter_map (fun p -> if 3 * p <= Int.min 8192 w.seq_len then Some (3 * p) else None) pow2
+    List.filter_map (fun p -> if 3 * p <= Int.min 8192 seq then Some (3 * p) else None) pow2
   in
   List.sort_uniq compare (pow2 @ three_pow2)
-let m0_options (w : Workload.t) = pow2_divisors ~cap:512 w.seq_len
 
-let m1_options (w : Workload.t) ~m0 =
-  pow2_divisors ~cap:64 (w.seq_len / m0)
-
-let s_options (w : Workload.t) = thin 12 (all_divisors w.model.Model.ffn_hidden)
+(* Key/value tiles divide the key/value sequence — the cache length in a
+   decode step, the workload's own sequence otherwise. *)
+let m0_options sp = pow2_divisors ~cap:512 sp.kv
+let m1_options sp ~m0 = pow2_divisors ~cap:64 (sp.kv / m0)
+let s_options sp = thin 12 (all_divisors sp.w.model.Model.ffn_hidden)
 
 let config_of_path path =
   match path with
   | [ b; d; p; m0; m1; s ] -> { b; d; p; m1; m0; s }
   | _ -> invalid_arg "Tileseek.config_of_path: incomplete path"
 
-let fallback arch w =
+let sp_fallback sp =
   let head l = List.hd l in
   let candidate =
     {
-      b = head (b_options w);
-      d = head (d_options w);
-      p = head (p_options w);
+      b = head (b_options sp);
+      d = head (d_options sp);
+      p = head (p_options sp);
       m1 = 1;
-      m0 = head (m0_options w);
-      s = head (s_options w);
+      m0 = head (m0_options sp);
+      s = head (s_options sp);
     }
   in
-  if feasible arch w candidate then candidate
+  if sp_feasible sp candidate then candidate
   else
     invalid_arg
-      (Fmt.str "Tileseek.fallback: minimal tile does not fit %s for %a" arch.Arch.name Workload.pp w)
+      (Fmt.str "Tileseek.fallback: minimal tile does not fit %s for %a" sp.arch.Arch.name
+         Workload.pp sp.w)
 
-let grow arch w config options update =
+let fallback ?kv_len ?decode arch w = sp_fallback (space ?kv_len ?decode arch w)
+
+(* Shrink a configuration's key/value tile until it divides a different
+   cache length (powers of two, so halving converges): decode evaluations
+   search once at a representative cache depth and reuse the clamped tile
+   at every other depth. *)
+let clamp_kv (c : config) ~kv_len =
+  if kv_len < 1 then invalid_arg "Tileseek.clamp_kv: kv_len must be positive";
+  let rec shrink v = if v <= 1 || kv_len mod v = 0 then Int.max 1 v else shrink (v / 2) in
+  let m0 = shrink (Int.min c.m0 kv_len) in
+  let rec shrink_m1 m1 =
+    if m1 <= 1 || kv_len mod (m1 * m0) = 0 then Int.max 1 m1 else shrink_m1 (m1 / 2)
+  in
+  { c with m0; m1 = shrink_m1 (Int.min c.m1 (Int.max 1 (kv_len / m0))) }
+
+let grow sp config options update =
   List.fold_left
     (fun best option ->
       let candidate = update best option in
-      if feasible arch w candidate then candidate else best)
-    config (options w)
+      if sp_feasible sp candidate then candidate else best)
+    config (options sp)
 
-let greedy_with arch w ~m0_first =
-  let base = fallback arch w in
-  let grow = grow arch w in
+let greedy_with sp ~m0_first =
+  let base = sp_fallback sp in
+  let grow = grow sp in
   let grow_p c = grow c p_options (fun c p -> { c with p }) in
   let grow_m0 c = grow c m0_options (fun c m0 -> { c with m0 }) in
   let config = if m0_first then grow_p (grow_m0 base) else grow_m0 (grow_p base) in
   let config = grow config d_options (fun c d -> { c with d }) in
   let config = grow config s_options (fun c s -> { c with s }) in
-  let config = grow config (fun w -> m1_options w ~m0:config.m0) (fun c m1 -> { c with m1 }) in
+  let config = grow config (fun sp -> m1_options sp ~m0:config.m0) (fun c m1 -> { c with m1 }) in
   grow config b_options (fun c b -> { c with b })
 
 (* Alternate single-step growth of the query tile and the key/value tile
    until neither can advance — walks to a balanced point of the Table 2
    frontier that the one-dimension-first orders overshoot. *)
-let greedy_balanced arch w =
-  let base = fallback arch w in
+let greedy_balanced sp =
+  let base = sp_fallback sp in
   let next options current =
     let rec scan = function
       | a :: rest when a <= current -> scan rest
@@ -120,13 +153,13 @@ let greedy_balanced arch w =
   in
   let try_bump config get set options =
     match next options (get config) with
-    | Some v when feasible arch w (set config v) -> (set config v, true)
+    | Some v when sp_feasible sp (set config v) -> (set config v, true)
     | _ -> (config, false)
   in
   let step config =
     (* Advance whichever dimension is proportionally further behind, so
        neither exhausts its option list while the other idles. *)
-    let p_opts = p_options w and m0_opts = m0_options w in
+    let p_opts = p_options sp and m0_opts = m0_options sp in
     let p_first = progress p_opts config.p <= progress m0_opts config.m0 in
     let bump_p c = try_bump c (fun c -> c.p) (fun c p -> { c with p }) p_opts in
     let bump_m0 c = try_bump c (fun c -> c.m0) (fun c m0 -> { c with m0 }) m0_opts in
@@ -140,34 +173,36 @@ let greedy_balanced arch w =
     if moved then walk config else config
   in
   let config = walk base in
-  let grow = grow arch w in
+  let grow = grow sp in
   let config = grow config d_options (fun c d -> { c with d }) in
   let config = grow config s_options (fun c s -> { c with s }) in
-  let config = grow config (fun w -> m1_options w ~m0:config.m0) (fun c m1 -> { c with m1 }) in
+  let config = grow config (fun sp -> m1_options sp ~m0:config.m0) (fun c m1 -> { c with m1 }) in
   grow config b_options (fun c b -> { c with b })
 
-let greedy arch w = greedy_with arch w ~m0_first:false
+let greedy ?kv_len ?decode arch w = greedy_with (space ?kv_len ?decode arch w) ~m0_first:false
 
-let greedy_variants arch w =
-  [ greedy_with arch w ~m0_first:false; greedy_with arch w ~m0_first:true; greedy_balanced arch w ]
+let sp_greedy_variants sp =
+  [ greedy_with sp ~m0_first:false; greedy_with sp ~m0_first:true; greedy_balanced sp ]
+
+let greedy_variants ?kv_len ?decode arch w = sp_greedy_variants (space ?kv_len ?decode arch w)
 
 (* Deterministic warm start: sweep the (query tile, key/value tile) grid —
    the two dimensions that trade residency against running-state update
    cost — growing the remaining factors greedily at each point. *)
-let grid_seed arch w ~evaluate =
-  let base = fallback arch w in
-  let grow = grow arch w in
+let grid_seed sp ~evaluate =
+  let base = sp_fallback sp in
+  let grow = grow sp in
   let best = ref None in
   List.iter
     (fun p ->
       List.iter
         (fun m0 ->
           let candidate = { base with p; m0 } in
-          if feasible arch w candidate then begin
+          if sp_feasible sp candidate then begin
             let candidate = grow candidate d_options (fun c d -> { c with d }) in
             let candidate = grow candidate s_options (fun c s -> { c with s }) in
             let candidate =
-              grow candidate (fun w -> m1_options w ~m0:candidate.m0) (fun c m1 -> { c with m1 })
+              grow candidate (fun sp -> m1_options sp ~m0:candidate.m0) (fun c m1 -> { c with m1 })
             in
             let candidate = grow candidate b_options (fun c b -> { c with b }) in
             let cost = evaluate candidate in
@@ -175,8 +210,8 @@ let grid_seed arch w ~evaluate =
             | Some (_, c) when c <= cost -> ()
             | _ -> best := Some (candidate, cost)
           end)
-        (m0_options w))
-    (p_options w);
+        (m0_options sp))
+    (p_options sp);
   match !best with Some r -> r | None -> (base, evaluate base)
 
 let log_src = Logs.Src.create "transfusion.tileseek" ~doc:"TileSeek tiling search"
@@ -211,45 +246,46 @@ let memoize_cost f =
         Hashtbl.add tbl c v;
         v
 
-let pareto ?(iterations = 200) arch w ~latency ~energy () =
+let pareto ?(iterations = 200) ?kv_len ?decode arch w ~latency ~energy () =
+  let sp = space ?kv_len ?decode arch w in
   let latency = memoize_cost latency and energy = memoize_cost energy in
   (* Candidate pool: the full grid plus random completions. *)
-  let base = fallback arch w in
-  let grow = grow arch w in
+  let base = sp_fallback sp in
+  let grow = grow sp in
   let pool = ref [] in
   List.iter
     (fun p ->
       List.iter
         (fun m0 ->
           let candidate = { base with p; m0 } in
-          if feasible arch w candidate then begin
+          if sp_feasible sp candidate then begin
             let candidate = grow candidate d_options (fun c d -> { c with d }) in
             let candidate = grow candidate s_options (fun c s -> { c with s }) in
             (* Grow m1 exactly as [grid_seed] does: without this step the
                frontier silently excluded every multi-tile M1 config. *)
             let candidate =
-              grow candidate (fun w -> m1_options w ~m0:candidate.m0) (fun c m1 -> { c with m1 })
+              grow candidate (fun sp -> m1_options sp ~m0:candidate.m0) (fun c m1 -> { c with m1 })
             in
             let candidate = grow candidate b_options (fun c b -> { c with b }) in
             pool := candidate :: !pool
           end)
-        (m0_options w))
-    (p_options w);
+        (m0_options sp))
+    (p_options sp);
   let rng = Random.State.make [| 2024 |] in
   let pick options = List.nth options (Random.State.int rng (List.length options)) in
   for _ = 1 to iterations do
-    let m0 = pick (m0_options w) in
+    let m0 = pick (m0_options sp) in
     let candidate =
       {
-        b = pick (b_options w);
-        d = pick (d_options w);
-        p = pick (p_options w);
-        m1 = pick (m1_options w ~m0);
+        b = pick (b_options sp);
+        d = pick (d_options sp);
+        p = pick (p_options sp);
+        m1 = pick (m1_options sp ~m0);
         m0;
-        s = pick (s_options w);
+        s = pick (s_options sp);
       }
     in
-    if feasible arch w candidate then pool := candidate :: !pool
+    if sp_feasible sp candidate then pool := candidate :: !pool
   done;
   let scored =
     List.sort_uniq compare !pool |> List.map (fun c -> (c, latency c, energy c))
@@ -262,7 +298,8 @@ let pareto ?(iterations = 200) arch w ~latency ~energy () =
   List.filter (fun entry -> not (dominated entry)) scored
   |> List.sort (fun (_, l1, _) (_, l2, _) -> compare l1 l2)
 
-let search ?(iterations = 400) ?(seed = 42) arch w ~evaluate () =
+let search ?(iterations = 400) ?(seed = 42) ?kv_len ?decode arch w ~evaluate () =
+  let sp = space ?kv_len ?decode arch w in
   Tf_obs.Counter.incr m_searches;
   Tf_obs.Trace.with_span ~cat:"tileseek"
     ~args:
@@ -270,14 +307,15 @@ let search ?(iterations = 400) ?(seed = 42) arch w ~evaluate () =
         ("arch", arch.Arch.name);
         ("model", w.Workload.model.Model.name);
         ("seq", string_of_int w.Workload.seq_len);
+        ("kv", string_of_int sp.kv);
         ("iterations", string_of_int iterations);
       ]
     "tileseek.search"
   @@ fun () ->
   let evaluate = memoize_cost evaluate in
   let seeds =
-    grid_seed arch w ~evaluate
-    :: List.map (fun c -> (c, evaluate c)) (greedy_variants arch w)
+    grid_seed sp ~evaluate
+    :: List.map (fun c -> (c, evaluate c)) (sp_greedy_variants sp)
   in
   let seed_config, seed_cost =
     List.fold_left (fun (bc, bcost) (c, cost) -> if cost < bcost then (c, cost) else (bc, bcost))
@@ -286,19 +324,19 @@ let search ?(iterations = 400) ?(seed = 42) arch w ~evaluate () =
   let ref_cost = seed_cost in
   let actions path =
     match List.length path with
-    | 0 -> b_options w
-    | 1 -> d_options w
-    | 2 -> p_options w
-    | 3 -> m0_options w
+    | 0 -> b_options sp
+    | 1 -> d_options sp
+    | 2 -> p_options sp
+    | 3 -> m0_options sp
     | 4 ->
         let m0 = List.nth path 3 in
-        m1_options w ~m0
-    | 5 -> s_options w
+        m1_options sp ~m0
+    | 5 -> s_options sp
     | _ -> []
   in
   let reward path =
     let config = config_of_path path in
-    if not (feasible arch w config) then 0.
+    if not (sp_feasible sp config) then 0.
     else
       let cost = evaluate config in
       if cost <= 0. then 0. else ref_cost /. cost

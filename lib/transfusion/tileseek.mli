@@ -28,29 +28,45 @@ val p_row : Tf_arch.Arch.t -> config -> int
 (** P': intra-tile sequence length per PE row — [p / rows(2D array)],
     at least 1 (paper Section 5.2). *)
 
-val dims : Tf_arch.Arch.t -> Tf_workloads.Workload.t -> config -> Buffer_req.dims
+val dims : ?kv_len:int -> Tf_arch.Arch.t -> Tf_workloads.Workload.t -> config -> Buffer_req.dims
 
-val feasible : Tf_arch.Arch.t -> Tf_workloads.Workload.t -> config -> bool
-(** Table 2 check against the architecture's buffer. *)
+val feasible : ?kv_len:int -> ?decode:bool -> Tf_arch.Arch.t -> Tf_workloads.Workload.t -> config -> bool
+(** Table 2 check against the architecture's buffer.  [kv_len] (default:
+    the workload's sequence) is the key/value sequence the [m1*m0] slice
+    must divide — the cache length for a decode step; [decode] (default
+    false) additionally charges the in-flight KV-cache tile
+    ({!Buffer_req.fits_decode}).  Every search entry point below takes
+    the same two parameters with the same meaning: the query-tile menu
+    stays bound to the workload's own (query) sequence while the
+    key/value-tile menus follow [kv_len]. *)
 
-val fallback : Tf_arch.Arch.t -> Tf_workloads.Workload.t -> config
+val clamp_kv : config -> kv_len:int -> config
+(** Shrink [m0] (and then [m1]) by halving until [m0] and [m1*m0] divide
+    [kv_len] — how a tiling searched at one cache depth is reused at
+    another.  Identity when the tiles already divide [kv_len].
+    @raise Invalid_argument on non-positive [kv_len]. *)
+
+val fallback : ?kv_len:int -> ?decode:bool -> Tf_arch.Arch.t -> Tf_workloads.Workload.t -> config
 (** A conservative feasible configuration found by shrinking every factor
     (used to seed reward normalisation and as the result of last resort).
     @raise Invalid_argument if even the minimal configuration does not
     fit. *)
 
-val greedy : Tf_arch.Arch.t -> Tf_workloads.Workload.t -> config
+val greedy : ?kv_len:int -> ?decode:bool -> Tf_arch.Arch.t -> Tf_workloads.Workload.t -> config
 (** A hand-heuristic tiling: grow each factor (query tile first, then the
     model-dimension and FFN slices, the key/value tiles, the batch tile)
     to the largest feasible option.  This is the tiling discipline the
     FuseMax+LayerFuse ablation uses — inter-layer fusion without search. *)
 
-val greedy_variants : Tf_arch.Arch.t -> Tf_workloads.Workload.t -> config list
+val greedy_variants :
+  ?kv_len:int -> ?decode:bool -> Tf_arch.Arch.t -> Tf_workloads.Workload.t -> config list
 (** The greedy growth orders (query-tile-first, key/value-tile-first, and
     balanced alternation); callers evaluate and keep the best. *)
 
 val pareto :
   ?iterations:int ->
+  ?kv_len:int ->
+  ?decode:bool ->
   Tf_arch.Arch.t ->
   Tf_workloads.Workload.t ->
   latency:(config -> float) ->
@@ -67,6 +83,8 @@ val pareto :
 val search :
   ?iterations:int ->
   ?seed:int ->
+  ?kv_len:int ->
+  ?decode:bool ->
   Tf_arch.Arch.t ->
   Tf_workloads.Workload.t ->
   evaluate:(config -> float) ->

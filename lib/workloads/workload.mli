@@ -16,6 +16,14 @@ val v : ?batch:int -> Model.t -> seq_len:int -> t
 (** Batch defaults to 64, the fixed batch of the paper's experiments.
     @raise Invalid_argument on non-positive sizes. *)
 
+val default_m0 : int -> int
+(** The balanced inner key/value tile for a key/value sequence of the
+    given length: the largest power of two that divides it and is at most
+    256 (1 for odd lengths).  This is the [m0] {!extents} assumes and the
+    tile the strategies fall back to when no tiling search ran — exposed
+    so decode-regime callers can derive the tile of a {e cache} length
+    that differs from the workload's own sequence. *)
+
 val extents : ?m0:int -> t -> Tf_einsum.Extents.t
 (** Extent environment over [b d p m1 m0 h e f s].  [m0] defaults to the
     largest power of two that divides [seq_len] and is at most 256; [m1] is

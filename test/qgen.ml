@@ -1,0 +1,202 @@
+(* A minimal property-based testing kernel: seeded splittable PRNG,
+   generators for the framework's domain values, and greedy shrinking.
+
+   Deliberately dependency-free (no QCheck): failures must print the
+   exact seed and a shrunk counterexample so a CI failure on one seed of
+   the QGEN_SEED matrix reproduces locally with
+
+     QGEN_SEED=<seed> dune runtest
+
+   The PRNG is SplitMix64 (Steele et al., "Fast splittable pseudorandom
+   number generators", OOPSLA 2014): a 64-bit counter stream hashed by a
+   fixed finalizer.  [split] forks an independent child stream from the
+   next output, so each test case owns a generator whose draws cannot
+   interfere with its neighbours' — case [i] generates the same value no
+   matter how many numbers case [i-1] consumed. *)
+
+type rng = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let next_int64 r =
+  r.state <- Int64.add r.state golden_gamma;
+  let z = r.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_seed seed = { state = Int64.of_int seed }
+let split r = { state = next_int64 r }
+
+let int r bound =
+  if bound <= 0 then invalid_arg "Qgen.int: non-positive bound";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 r) 1) (Int64.of_int bound))
+
+let range r lo hi =
+  if hi < lo then invalid_arg "Qgen.range: empty";
+  lo + int r (hi - lo + 1)
+
+let bool r = Int64.logand (next_int64 r) 1L = 1L
+let choose r l = List.nth l (int r (List.length l))
+
+(* ------------------------------------------------------------------ *)
+(* Seed and case-count policy                                          *)
+
+let seed =
+  match Sys.getenv_opt "QGEN_SEED" with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> failwith "bad QGEN_SEED")
+  | None -> 42
+
+let count =
+  match Sys.getenv_opt "QGEN_COUNT" with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> failwith "bad QGEN_COUNT")
+  | None -> 100
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+
+(* Halve toward [lo]: 12 -> [0; 6; 11] (try the smallest first). *)
+let shrink_int ?(lo = 0) n =
+  if n <= lo then []
+  else
+    List.sort_uniq compare [ lo; lo + ((n - lo) / 2); n - 1 ]
+    |> List.filter (fun c -> lo <= c && c < n)
+
+(* Halve a power of two toward 1. *)
+let shrink_pow2 n = if n <= 1 then [] else [ 1; n / 2 ] |> List.filter (fun c -> c < n)
+
+(* Shrink one element at a time, plus dropping list prefixes/suffixes. *)
+let shrink_list shrink_elt l =
+  let n = List.length l in
+  let drops =
+    if n <= 1 then []
+    else [ List.filteri (fun i _ -> i < n / 2) l; List.filteri (fun i _ -> i >= n / 2) l ]
+  in
+  let pointwise =
+    List.concat (List.mapi (fun i x ->
+        List.map (fun x' -> List.mapi (fun j y -> if i = j then x' else y) l) (shrink_elt x))
+        l)
+  in
+  drops @ pointwise
+
+(* ------------------------------------------------------------------ *)
+(* The runner                                                          *)
+
+exception Falsified of string
+(* Raised with the full report; Alcotest prints the payload verbatim,
+   and the meta-test can inspect it. *)
+
+(* Run [prop] on [count] generated cases.  On a failure, greedily walk
+   [shrink] candidates (keeping the first that still fails) and report
+   the seed, the case index, the shrunk counterexample and the original
+   input — everything needed to reproduce and to file the bug. *)
+let run ?(count = count) ?(shrink = fun _ -> []) ~print ~gen name prop =
+  let master = of_seed seed in
+  for case = 0 to count - 1 do
+    let case_rng = split master in
+    let x = gen case_rng in
+    match prop x with
+    | () -> ()
+    | exception original_exn ->
+        let failing c = match prop c with () -> None | exception e -> Some (c, e) in
+        let rec go x exn budget =
+          if budget <= 0 then (x, exn)
+          else
+            match List.find_map failing (shrink x) with
+            | None -> (x, exn)
+            | Some (c, e) -> go c e (budget - 1)
+        in
+        let sx, sexn = go x original_exn 1000 in
+        raise
+          (Falsified
+             (Printf.sprintf
+                "property %S: case %d/%d failed (reproduce with QGEN_SEED=%d)\n\
+                \  shrunk counterexample: %s\n\
+                \  failure: %s\n\
+                \  original input: %s\n\
+                \  original failure: %s"
+                name case count seed (print sx) (Printexc.to_string sexn) (print x)
+                (Printexc.to_string original_exn)))
+  done
+
+let () =
+  Printexc.register_printer (function Falsified msg -> Some msg | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Domain generators                                                   *)
+
+module Model = Tf_workloads.Model
+module Workload = Tf_workloads.Workload
+
+let activation r = choose r Tf_einsum.Scalar_op.[ Relu; Gelu; Silu; Sigmoid ]
+
+(* Small random transformer shapes: heads and head_dim powers of two so
+   the derived d_model stays tileable, everything small enough that
+   brute-force checks remain fast. *)
+let model r =
+  let heads = 1 lsl int r 3 in
+  let head_dim = 1 lsl range r 2 5 in
+  let ffn_mult = range r 1 4 in
+  Model.v
+    ~name:(Printf.sprintf "rnd-h%d-e%d-x%d" heads head_dim ffn_mult)
+    ~d_model:(heads * head_dim) ~heads ~head_dim
+    ~ffn_hidden:(ffn_mult * heads * head_dim)
+    ~layers:(range r 1 4) ~activation:(activation r)
+
+let workload r =
+  let m = model r in
+  Workload.v ~batch:(1 lsl int r 4) m ~seq_len:(1 lsl range r 6 12)
+
+(* Random DAGs for scheduler properties: nodes [0..n), edges only from
+   lower to higher ids (acyclic by construction), density ~40%. *)
+let dag r =
+  let n = range r 1 8 in
+  let nodes = List.init n (fun i -> (i, Printf.sprintf "op%d" i)) in
+  let edges =
+    List.concat
+      (List.init n (fun i ->
+           List.filter_map
+             (fun j -> if j > i && int r 10 < 4 then Some (i, j) else None)
+             (List.init n Fun.id)))
+  in
+  Tf_dag.Dag.of_edges nodes edges
+
+(* Positive per-node loads and a matrix/vector split for DPipe. *)
+let loads r n =
+  Array.init n (fun _ -> float_of_int (range r 1 1000))
+
+let print_dag g =
+  Printf.sprintf "nodes=[%s] edges=[%s]"
+    (String.concat ";" (List.map string_of_int (Tf_dag.Dag.nodes g)))
+    (String.concat ";"
+       (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) (Tf_dag.Dag.edges g)))
+
+(* A random (not necessarily optimal, always divisor-valid) tiling of a
+   workload, for feasibility/lint properties. *)
+let pow2_divisor r total ~cap =
+  let rec opts v acc = if v > total || v > cap || total mod v <> 0 then acc else opts (2 * v) (v :: acc) in
+  choose r (opts 1 [])
+
+let tiling r (w : Workload.t) =
+  let m = w.Workload.model in
+  let m0 = pow2_divisor r w.Workload.seq_len ~cap:512 in
+  let m1 = pow2_divisor r (w.Workload.seq_len / m0) ~cap:64 in
+  {
+    Transfusion.Tileseek.b = pow2_divisor r w.Workload.batch ~cap:w.Workload.batch;
+    d = pow2_divisor r m.Model.d_model ~cap:m.Model.d_model;
+    p = pow2_divisor r w.Workload.seq_len ~cap:4096;
+    m1;
+    m0;
+    s = pow2_divisor r m.Model.ffn_hidden ~cap:m.Model.ffn_hidden;
+  }
+
+let print_tiling (c : Transfusion.Tileseek.config) =
+  Printf.sprintf "{b=%d; d=%d; p=%d; m1=%d; m0=%d; s=%d}" c.Transfusion.Tileseek.b
+    c.Transfusion.Tileseek.d c.Transfusion.Tileseek.p c.Transfusion.Tileseek.m1
+    c.Transfusion.Tileseek.m0 c.Transfusion.Tileseek.s
+
+let print_workload (w : Workload.t) =
+  let m = w.Workload.model in
+  Printf.sprintf "%s seq=%d batch=%d (D=%d H=%d E=%d S=%d L=%d)" m.Model.name w.Workload.seq_len
+    w.Workload.batch m.Model.d_model m.Model.heads m.Model.head_dim m.Model.ffn_hidden
+    m.Model.layers

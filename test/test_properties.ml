@@ -1,0 +1,342 @@
+(* Property-based and differential tests (driven by the Qgen kernel).
+
+   Properties run [Qgen.count] cases each (>= 100 by default; QGEN_COUNT
+   overrides) under the seed policy of test/qgen.ml: set QGEN_SEED to
+   reproduce a CI matrix failure, and every failure message carries the
+   seed plus a shrunk counterexample.
+
+   Three families:
+   - scheduler properties: every DPipe schedule of a random DAG passes
+     the independent Tf_analysis verifier and replays correctly in the
+     event-driven Pipeline_sim;
+   - model properties: the closed-form Table 2 buffer formulas equal a
+     brute-force tensor-inventory enumeration; Topo enumeration yields
+     only valid, distinct topological orders; feasible TileSeek configs
+     pass Tiling_lint;
+   - differential: the analytic DPipe makespan vs the Pipeline_sim
+     replay on real fused-layer cascades (the documented 1e-6 relative
+     tolerance), and the decode attention flavour degenerating exactly
+     to cross-attention when the cache length equals the projected
+     sequence. *)
+
+module Dag = Tf_dag.Dag
+module Topo = Tf_dag.Topo
+module Dpipe = Transfusion.Dpipe
+module Pipeline_sim = Transfusion.Pipeline_sim
+module Buffer_req = Transfusion.Buffer_req
+module Tileseek = Transfusion.Tileseek
+module Strategies = Transfusion.Strategies
+module Layer_costs = Transfusion.Layer_costs
+module Workload = Tf_workloads.Workload
+
+let archs = Tf_arch.Presets.[ cloud; edge; edge_32; edge_64 ]
+
+(* ------------------------------------------------------------------ *)
+(* DPipe on random DAGs: verifier-clean and replayable                 *)
+
+type dpipe_case = {
+  arch : Tf_arch.Arch.t;
+  g : string Dag.t;
+  loads : float array;
+  matrix_mask : bool array;
+}
+
+let dpipe_case r =
+  let g = Qgen.dag r in
+  let n = Dag.node_count g in
+  {
+    arch = Qgen.choose r archs;
+    g;
+    loads = Qgen.loads r n;
+    matrix_mask = Array.init n (fun _ -> Qgen.bool r);
+  }
+
+let print_dpipe_case c =
+  Printf.sprintf "%s %s loads=[%s] matrix=[%s]" c.arch.Tf_arch.Arch.name (Qgen.print_dag c.g)
+    (String.concat ";" (List.map (fun l -> Printf.sprintf "%g" l) (Array.to_list c.loads)))
+    (String.concat ";" (List.map string_of_bool (Array.to_list c.matrix_mask)))
+
+(* Shrink by dropping the highest-id node (keeps edges valid since our
+   generator only draws low -> high edges). *)
+let shrink_dpipe_case c =
+  let nodes = Dag.nodes c.g in
+  match List.rev nodes with
+  | [] | [ _ ] -> []
+  | last :: _ ->
+      let keep = List.filter (fun i -> i <> last) nodes in
+      [ { c with g = Dag.induced c.g keep } ]
+
+let prop_dpipe_verifier_clean c =
+  let load n = c.loads.(n) in
+  let matrix n = c.matrix_mask.(n) in
+  let sched = Dpipe.schedule c.arch ~load ~matrix c.g in
+  (match Dpipe.check c.g sched with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "Dpipe.check rejected its own schedule: %s" e);
+  let diags = Tf_analysis.Sched_lint.verify c.g sched in
+  if Tf_analysis.Diagnostic.has_errors diags then
+    Alcotest.failf "Sched_lint errors: %s"
+      (String.concat "; "
+         (List.map Tf_analysis.Diagnostic.render (Tf_analysis.Diagnostic.errors diags)));
+  match Pipeline_sim.replay c.arch ~load ~matrix c.g sched with
+  | Error e -> Alcotest.failf "replay deadlocked: %s" e
+  | Ok outcome ->
+      if not (Pipeline_sim.agrees sched outcome) then
+        Alcotest.failf "simulated makespan %.6e disagrees with analytic %.6e"
+          outcome.Pipeline_sim.makespan_cycles sched.Dpipe.makespan_cycles
+
+let test_dpipe_random_dags () =
+  Qgen.run ~shrink:shrink_dpipe_case ~print:print_dpipe_case ~gen:dpipe_case
+    "dpipe random DAGs verify and replay" prop_dpipe_verifier_clean
+
+(* ------------------------------------------------------------------ *)
+(* Buffer_req formulas vs brute-force tensor inventory                 *)
+
+(* The Table 2 rows, spelled as explicit per-module tensor inventories
+   (count, dimension list) and summed with integer arithmetic — an
+   independent derivation of the closed forms in Buffer_req.  The
+   inventory follows DESIGN.md Section 5's tile-resident tensor lists. *)
+let footprint tensors =
+  List.fold_left (fun acc (count, dims) -> acc + (count * List.fold_left ( * ) 1 dims)) 0 tensors
+
+let qkv_inventory { Buffer_req.b; d; p; m1; m0; h; e; _ } =
+  [ (4, [ b; d; p ]); (3, [ b; d; m1; m0 ]); (3, [ d; h; e ]); (2, [ b; h; p ]) ]
+
+let mha_inventory { Buffer_req.b; p; m1; m0; h; e; f; p_row; _ } =
+  [
+    (1, [ b; h; e; p ]);
+    (2, [ b; h; e; m1; m0 ]);
+    (2, [ b; h; p ]);
+    (2, [ b; h; p; f ]);
+    (4, [ m0; p_row ]);
+    (18, [ p_row ]);
+  ]
+
+let layernorm_inventory { Buffer_req.b; p; h; f; p_row; _ } =
+  [ (3, [ b; h; f; p ]); (4, [ h; f; p_row ]) ]
+
+let ffn_inventory { Buffer_req.b; p; h; f; s; p_row; _ } =
+  [ (2, [ b; p; h; f ]); (1, [ h; f; s ]); (1, [ s; p ]); (2, [ s ]); (2, [ s; p_row ]) ]
+
+let kv_cache_inventory { Buffer_req.b; m0; h; e; f; _ } =
+  [ (1, [ b; h; e; m0 + 1 ]); (1, [ b; h; f; m0 + 1 ]) ]
+
+let dims_gen r =
+  let small () = Qgen.range r 1 6 in
+  {
+    Buffer_req.b = small ();
+    d = small ();
+    p = small ();
+    m1 = small ();
+    m0 = small ();
+    h = small ();
+    e = small ();
+    f = small ();
+    s = small ();
+    p_row = small ();
+  }
+
+let print_dims d = Fmt.str "%a" Buffer_req.pp d
+
+let shrink_dims (d : Buffer_req.dims) =
+  let at f = List.map f (Qgen.shrink_int ~lo:1 d.Buffer_req.b) in
+  at (fun b -> { d with Buffer_req.b })
+  @ List.map (fun p -> { d with Buffer_req.p }) (Qgen.shrink_int ~lo:1 d.Buffer_req.p)
+  @ List.map (fun m0 -> { d with Buffer_req.m0 }) (Qgen.shrink_int ~lo:1 d.Buffer_req.m0)
+  @ List.map (fun m1 -> { d with Buffer_req.m1 }) (Qgen.shrink_int ~lo:1 d.Buffer_req.m1)
+  @ List.map (fun h -> { d with Buffer_req.h }) (Qgen.shrink_int ~lo:1 d.Buffer_req.h)
+
+let prop_buffer_req_matches_inventory d =
+  let check name formula inventory =
+    let expected = footprint inventory in
+    if formula <> float_of_int expected then
+      Alcotest.failf "%s: formula %.1f <> inventory %d" name formula expected
+  in
+  check "qkv" (Buffer_req.qkv d) (qkv_inventory d);
+  check "mha" (Buffer_req.mha d) (mha_inventory d);
+  check "add_layernorm" (Buffer_req.add_layernorm d) (layernorm_inventory d);
+  check "ffn" (Buffer_req.ffn d) (ffn_inventory d);
+  check "kv_cache_tile" (Buffer_req.kv_cache_tile d) (kv_cache_inventory d);
+  check "mha_decode" (Buffer_req.mha_decode d) (mha_inventory d @ kv_cache_inventory d);
+  let max_of l = List.fold_left Float.max 0. l in
+  Alcotest.(check (float 0.))
+    "worst is the max module" (Buffer_req.worst d)
+    (max_of [ Buffer_req.qkv d; Buffer_req.mha d; Buffer_req.add_layernorm d; Buffer_req.ffn d ]);
+  Alcotest.(check (float 0.))
+    "worst_decode swaps the MHA row" (Buffer_req.worst_decode d)
+    (max_of
+       [ Buffer_req.qkv d; Buffer_req.mha_decode d; Buffer_req.add_layernorm d; Buffer_req.ffn d ])
+
+let test_buffer_req_brute_force () =
+  Qgen.run ~shrink:shrink_dims ~print:print_dims ~gen:dims_gen
+    "Buffer_req equals tensor-inventory brute force" prop_buffer_req_matches_inventory
+
+(* ------------------------------------------------------------------ *)
+(* Topo enumeration validity                                           *)
+
+let prop_topo_orders_valid g =
+  let order = Topo.sort g in
+  if not (Topo.is_valid g order) then
+    Alcotest.failf "Topo.sort produced an invalid order [%s]"
+      (String.concat ";" (List.map string_of_int order));
+  let limit = 64 in
+  let all = Topo.all ~limit g in
+  List.iter
+    (fun o ->
+      if not (Topo.is_valid g o) then
+        Alcotest.failf "Topo.all produced an invalid order [%s]"
+          (String.concat ";" (List.map string_of_int o)))
+    all;
+  let distinct = List.sort_uniq compare all in
+  Alcotest.(check int) "orders are distinct" (List.length all) (List.length distinct);
+  let counted = Topo.count_at_most ~limit g in
+  if List.length all < limit then
+    Alcotest.(check int) "count_at_most agrees with enumeration" (List.length all) counted
+
+let test_topo_orders () =
+  Qgen.run ~print:Qgen.print_dag ~gen:Qgen.dag "Topo orders are valid topological orders"
+    prop_topo_orders_valid
+
+(* ------------------------------------------------------------------ *)
+(* Feasible tilings pass the lint pass                                 *)
+
+let tiling_case r =
+  let w = Qgen.workload r in
+  (Qgen.choose r archs, w, Qgen.tiling r w)
+
+let print_tiling_case (arch, w, c) =
+  Printf.sprintf "%s %s %s" arch.Tf_arch.Arch.name (Qgen.print_workload w) (Qgen.print_tiling c)
+
+let prop_feasible_tiling_lints_clean (arch, w, c) =
+  if Tileseek.feasible arch w c then begin
+    let diags = Tf_analysis.Tiling_lint.verify arch w c in
+    if Tf_analysis.Diagnostic.has_errors diags then
+      Alcotest.failf "feasible tiling fails lint: %s"
+        (String.concat "; "
+           (List.map Tf_analysis.Diagnostic.render (Tf_analysis.Diagnostic.errors diags)))
+  end;
+  (* The decode flavour is strictly tighter: decode-feasible implies
+     encoder-feasible (the KV-cache tile only adds buffer pressure). *)
+  if Tileseek.feasible ~decode:true arch w c && not (Tileseek.feasible arch w c) then
+    Alcotest.fail "decode-feasible tiling infeasible without the cache term"
+
+let test_feasible_tilings () =
+  Qgen.run ~print:print_tiling_case ~gen:tiling_case "feasible tilings pass Tiling_lint"
+    prop_feasible_tiling_lints_clean
+
+(* ------------------------------------------------------------------ *)
+(* Differential: analytic DPipe vs event-driven replay on real
+   fused-layer cascades (~50 random (arch, workload) points)           *)
+
+let cascade_case r =
+  let w = Qgen.workload r in
+  (Qgen.choose r archs, w)
+
+let print_cascade_case (arch, w) =
+  Printf.sprintf "%s %s" arch.Tf_arch.Arch.name (Qgen.print_workload w)
+
+let prop_analytic_matches_replay (arch, w) =
+  let cascade =
+    Transfusion.Cascades.full_layer w.Workload.model.Tf_workloads.Model.activation
+  in
+  let totals = Array.of_list (Layer_costs.op_totals w cascade) in
+  let g = Tf_einsum.Cascade.to_dag cascade in
+  let load n = totals.(n).Layer_costs.total /. 256. in
+  let matrix n = Tf_einsum.Einsum.is_matrix_op totals.(n).Layer_costs.op in
+  let sched = Dpipe.schedule arch ~load ~matrix g in
+  match Pipeline_sim.replay arch ~load ~matrix g sched with
+  | Error e -> Alcotest.failf "replay deadlocked: %s" e
+  | Ok outcome ->
+      (* The documented Pipeline_sim tolerance (1e-6 relative). *)
+      if not (Pipeline_sim.agrees ~tol:1e-6 sched outcome) then
+        Alcotest.failf "analytic %.9e vs simulated %.9e exceeds 1e-6 relative"
+          sched.Dpipe.makespan_cycles outcome.Pipeline_sim.makespan_cycles
+
+let test_differential_replay () =
+  Qgen.run ~count:50 ~print:print_cascade_case ~gen:cascade_case
+    "analytic DPipe makespan matches Pipeline_sim on fused layers" prop_analytic_matches_replay
+
+(* ------------------------------------------------------------------ *)
+(* Differential: decode flavour degenerates to cross-attention         *)
+
+(* When the cache length equals the workload's (projected) sequence,
+   the decode step projects exactly as many K/V positions as a
+   cross-attention pass — the two flavours must produce bit-identical
+   results.  Searching strategies are pinned to one shared tiling
+   (greedy under the stricter decode buffer model, so it is feasible
+   for both flavours); the non-searching ones need no pinning. *)
+let decode_cross_case r =
+  let m = Qgen.model r in
+  let w = Workload.v ~batch:(1 lsl Qgen.int r 3) m ~seq_len:(1 lsl Qgen.range r 0 9) in
+  (Qgen.choose r archs, w, Qgen.choose r Strategies.all)
+
+let print_decode_cross_case (arch, w, s) =
+  Printf.sprintf "%s %s %s" arch.Tf_arch.Arch.name (Qgen.print_workload w) (Strategies.name s)
+
+let prop_decode_equals_cross (arch, w, strategy) =
+  let kv_len = w.Workload.seq_len in
+  let tiling =
+    match strategy with
+    | Strategies.Fusemax_layerfuse | Strategies.Transfusion ->
+        Some (Tileseek.greedy ~kv_len ~decode:true arch w)
+    | Strategies.Unfused | Strategies.Flat | Strategies.Fusemax -> None
+  in
+  let eval attention = Strategies.evaluate ?tiling ~attention arch w strategy in
+  let decode = eval (Strategies.Decode { kv_len }) in
+  let cross = eval (Strategies.Cross { kv_len }) in
+  let lat (r : Strategies.result) = r.Strategies.latency.Tf_costmodel.Latency.total_s in
+  let energy (r : Strategies.result) = Tf_costmodel.Energy.total_pj r.Strategies.energy in
+  if lat decode <> lat cross then
+    Alcotest.failf "latency: decode %.17e <> cross %.17e" (lat decode) (lat cross);
+  if energy decode <> energy cross then
+    Alcotest.failf "energy: decode %.17e <> cross %.17e" (energy decode) (energy cross)
+
+let test_decode_equals_cross () =
+  Qgen.run ~count:50 ~print:print_decode_cross_case ~gen:decode_cross_case
+    "decode at kv_len = seq_len equals cross-attention exactly" prop_decode_equals_cross
+
+(* Meta-test: a falsified property must report the seed and a shrunk
+   counterexample — that message is what makes the CI seed matrix
+   actionable, so we pin its shape here. *)
+let test_failure_report () =
+  match
+    Qgen.run ~count:10 ~shrink:Qgen.shrink_int ~print:string_of_int
+      ~gen:(fun r -> Qgen.range r 50 100)
+      "meta" (fun n -> if n >= 10 then failwith "too big")
+  with
+  | () -> Alcotest.fail "property expected to be falsified"
+  | exception Qgen.Falsified msg ->
+      let contains sub =
+        Alcotest.(check bool) (Printf.sprintf "report mentions %S" sub) true
+          (let ls = String.length sub and lm = String.length msg in
+           let rec go i = i + ls <= lm && (String.sub msg i ls = sub || go (i + 1)) in
+           go 0)
+      in
+      contains "QGEN_SEED=";
+      contains "shrunk counterexample: 10";
+      contains "too big"
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "tf_properties"
+    [
+      ( "harness",
+        [
+          quick "failure report carries seed and shrunk input" test_failure_report;
+        ] );
+      ( "scheduler",
+        [
+          quick "dpipe random DAGs" test_dpipe_random_dags;
+          quick "topo orders" test_topo_orders;
+        ] );
+      ( "model",
+        [
+          quick "buffer_req brute force" test_buffer_req_brute_force;
+          quick "feasible tilings lint clean" test_feasible_tilings;
+        ] );
+      ( "differential",
+        [
+          quick "analytic vs replay" test_differential_replay;
+          quick "decode equals cross" test_decode_equals_cross;
+        ] );
+    ]
