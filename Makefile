@@ -1,4 +1,4 @@
-.PHONY: all build test lint check figures bench-quick clean
+.PHONY: all build test lint check figures bench-quick explain clean
 
 all: build
 
@@ -22,6 +22,13 @@ figures:
 # Reduced-sweep benchmark with machine-readable timings (bench.json).
 bench-quick:
 	dune exec bench/main.exe -- --quick --json bench.json
+
+# Simulation telemetry: per-Einsum stall attribution + search
+# convergence (explain.json) and a Perfetto-loadable simulated
+# timeline (sim-trace.json).
+explain:
+	dune exec bin/transfusion_cli.exe -- explain \
+		--json explain.json --sim-trace sim-trace.json
 
 clean:
 	dune clean

@@ -1,0 +1,49 @@
+(* CI perf-regression guard: compare two bench JSON documents by name
+   with a relative threshold (see Tf_report.Bench_diff for the schema
+   and matching rules).
+
+     bench_diff [--threshold 1.5] [--warn-only] BASELINE.json CURRENT.json
+
+   Exit status: 0 when no matched entry regressed past the threshold (or
+   --warn-only was given), 1 on regressions, 2 on usage/parse errors. *)
+
+let usage () =
+  prerr_endline "usage: bench_diff [--threshold RATIO] [--warn-only] BASELINE.json CURRENT.json";
+  exit 2
+
+let () =
+  let threshold = ref 1.5 in
+  let warn_only = ref false in
+  let files = ref [] in
+  let i = ref 1 in
+  while !i < Array.length Sys.argv do
+    (match Sys.argv.(!i) with
+    | "--warn-only" -> warn_only := true
+    | "--threshold" ->
+        if !i + 1 >= Array.length Sys.argv then usage ();
+        incr i;
+        (match float_of_string_opt Sys.argv.(!i) with
+        | Some t when t > 1. -> threshold := t
+        | _ ->
+            prerr_endline "bench_diff: --threshold must be a ratio above 1";
+            exit 2)
+    | s when String.length s > 0 && s.[0] = '-' -> usage ()
+    | file -> files := file :: !files);
+    incr i
+  done;
+  match List.rev !files with
+  | [ baseline_path; current_path ] -> (
+      try
+        let baseline = Tf_report.Json_read.parse_file baseline_path in
+        let current = Tf_report.Json_read.parse_file current_path in
+        let report = Tf_report.Bench_diff.compare_docs ~threshold:!threshold ~baseline current in
+        print_string (Tf_report.Bench_diff.render report);
+        if Tf_report.Bench_diff.has_regressions report && not !warn_only then exit 1
+      with
+      | Tf_report.Json_read.Bad_json msg ->
+          Printf.eprintf "bench_diff: bad JSON: %s\n" msg;
+          exit 2
+      | Sys_error msg ->
+          Printf.eprintf "bench_diff: %s\n" msg;
+          exit 2)
+  | _ -> usage ()

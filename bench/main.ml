@@ -127,14 +127,22 @@ let ablation_steps () =
     );
   ]
 
-(* Run each step, recording wall time; the printed output is exactly the
-   step's own (no timing lines on stdout, so figure output is stable). *)
+(* Run each step, recording wall time and — with --obs — the snapshot
+   delta the step caused (per-step counters, not cumulative: each step's
+   section shows only what that step did).  The printed output is exactly
+   the step's own (no timing lines on stdout, so figure output is
+   stable); per-step metric deltas go to stderr. *)
 let run_timed steps =
   List.map
     (fun (name, step) ->
+      let before = if obs then Tf_obs.snapshot () else [] in
       let t0 = Unix.gettimeofday () in
       step ();
-      (name, Unix.gettimeofday () -. t0))
+      let wall = Unix.gettimeofday () -. t0 in
+      let delta = if obs then Tf_obs.Snapshot.diff ~before (Tf_obs.snapshot ()) else [] in
+      if obs && delta <> [] then
+        Printf.eprintf "== %s (%.2fs)\n%s%!" name wall (Tf_obs.render_snapshot delta);
+      (name, wall, delta))
     steps
 
 (* ------------------------------------------------------------------ *)
@@ -250,22 +258,22 @@ let microbench () =
 
 let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.6g" f
 
-(* The Tf_obs snapshot as JSON object entries.  Metric names are plain
+(* A Tf_obs snapshot as JSON object entries.  Metric names are plain
    ASCII ([a-z0-9._]), so no escaping is needed. *)
-let metrics_entries () =
-  if not obs then []
-  else
-    List.map
-      (fun (name, v) ->
-        let value =
-          match v with
-          | Tf_obs.Counter_v n -> string_of_int n
-          | Tf_obs.Gauge_v g -> json_float g
-          | Tf_obs.Histogram_v { count; sum; _ } ->
-              Printf.sprintf "{\"count\": %d, \"sum\": %s}" count (json_float sum)
-        in
-        Printf.sprintf "\"%s\": %s" name value)
-      (Tf_obs.snapshot ())
+let snapshot_entries snap =
+  List.map
+    (fun (name, v) ->
+      let value =
+        match v with
+        | Tf_obs.Counter_v n -> string_of_int n
+        | Tf_obs.Gauge_v g -> json_float g
+        | Tf_obs.Histogram_v { count; sum; _ } ->
+            Printf.sprintf "{\"count\": %d, \"sum\": %s}" count (json_float sum)
+      in
+      Printf.sprintf "\"%s\": %s" name value)
+    snap
+
+let metrics_entries () = if not obs then [] else snapshot_entries (Tf_obs.snapshot ())
 
 let write_json path ~steps ~micro =
   let buf = Buffer.create 2048 in
@@ -275,9 +283,17 @@ let write_json path ~steps ~micro =
   Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" (Tf_parallel.jobs ()));
   Buffer.add_string buf "  \"figures\": [\n";
   List.iteri
-    (fun i (name, wall_s) ->
+    (fun i (name, wall_s, delta) ->
+      (* Per-step metric deltas (Tf_obs.Snapshot.diff), not cumulative
+         totals: each figure's section records only what it did. *)
+      let metrics =
+        if delta = [] then ""
+        else
+          Printf.sprintf ", \"metrics\": {%s}" (String.concat ", " (snapshot_entries delta))
+      in
       Buffer.add_string buf
-        (Printf.sprintf "    {\"name\": \"%s\", \"wall_s\": %s}%s\n" name (json_float wall_s)
+        (Printf.sprintf "    {\"name\": \"%s\", \"wall_s\": %s%s}%s\n" name (json_float wall_s)
+           metrics
            (if i = List.length steps - 1 then "" else ",")))
     steps;
   Buffer.add_string buf "  ],\n";

@@ -6,12 +6,27 @@
      decode    autoregressive serving sweep (prefill + KV-cache decode)
      search    run TileSeek and report the chosen tiling
      schedule  show the DPipe schedule of the fused layer
+     explain   simulate the TransFusion schedule and report bottlenecks
      figures   regenerate the paper's figures (also see bench/main.exe) *)
 
 open Cmdliner
 module Strategies = Transfusion.Strategies
 module Latency = Tf_costmodel.Latency
 module Energy = Tf_costmodel.Energy
+module Json = Tf_experiments.Export.Json
+
+(* Every file-output flag below accepts "-" to mean stdout: JSON goes to
+   stdout verbatim (nothing else is printed around it), a real path gets
+   a confirmation line on stderr.  One helper so the convention cannot
+   drift between subcommands. *)
+let emit ~what path contents =
+  if String.equal path "-" then print_string contents
+  else begin
+    Tf_experiments.Export.write_file ~path contents;
+    Fmt.epr "%s written to %s@." what path
+  end
+
+let emit_json ~what path doc = emit ~what path (Json.to_string doc)
 
 let arch_conv =
   let parse s =
@@ -87,8 +102,7 @@ let obs_term =
         (match trace with
         | Some path ->
             Tf_obs.Trace.stop ();
-            Tf_obs.Trace.write path;
-            Fmt.epr "trace written to %s@." path
+            emit ~what:"trace" path (Tf_obs.Trace.to_json ())
         | None -> ());
         if metrics then print_string (Tf_obs.render_snapshot (Tf_obs.snapshot ())))
       run
@@ -110,11 +124,37 @@ let print_result (r : Strategies.result) =
         c.Transfusion.Tileseek.m0 c.Transfusion.Tileseek.s
   | None -> ())
 
+(* [--sim-trace FILE]: write the simulated-schedule timeline (Perfetto
+   JSON, virtual cycle clock) of the TransFusion fused layer under the
+   given tiling.  Shared by eval and decode. *)
+let sim_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "sim-trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the simulated DPipe timeline as Chrome trace-event JSON to $(docv) (\"-\" for \
+           stdout; open in Perfetto).  Timestamps are virtual cycles, not wall time.  TransFusion \
+           strategy only.")
+
+let write_sim_trace ?attention ~tiling arch w path =
+  match tiling with
+  | None -> Fmt.epr "sim-trace skipped: only the TransFusion strategy has a simulated schedule@."
+  | Some tiling -> (
+      try
+        let e = Tf_report.Explain.simulate ?attention ~tiling arch w in
+        emit_json ~what:"sim trace" path (Tf_report.Explain.trace e)
+      with Invalid_argument msg -> Fmt.epr "sim-trace skipped: %s@." msg)
+
 let eval_cmd =
-  let run obs arch model seq batch strategy iterations =
+  let run obs arch model seq batch strategy iterations sim_trace =
     obs @@ fun () ->
     let w = workload model seq batch in
-    print_result (Strategies.evaluate ~tileseek_iterations:iterations arch w strategy)
+    let r = Strategies.evaluate ~tileseek_iterations:iterations arch w strategy in
+    print_result r;
+    match sim_trace with
+    | None -> ()
+    | Some path -> write_sim_trace ~tiling:r.Strategies.tiling arch w path
   in
   let strategy_arg =
     Arg.(
@@ -124,7 +164,9 @@ let eval_cmd =
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate one scheduling strategy on one workload")
-    Term.(const run $ obs_term $ arch_arg $ model_arg $ seq_arg $ batch_arg $ strategy_arg $ iterations_arg)
+    Term.(
+      const run $ obs_term $ arch_arg $ model_arg $ seq_arg $ batch_arg $ strategy_arg
+      $ iterations_arg $ sim_trace_arg)
 
 let sweep_cmd =
   let run obs arch model quick =
@@ -196,6 +238,46 @@ let schedule_cmd =
   Cmd.v
     (Cmd.info "schedule" ~doc:"Show the DPipe schedule of the fused layer")
     Term.(const run $ obs_term $ arch_arg $ model_arg $ seq_arg $ batch_arg)
+
+let explain_cmd =
+  let run obs arch model seq batch iterations seed causal json sim_trace =
+    obs @@ fun () ->
+    let w = workload model seq batch in
+    let attention = if causal then Strategies.Causal_self else Strategies.Self in
+    let e = Tf_report.Explain.run ~iterations ~seed ~attention arch w in
+    (* With --json - the document owns stdout; the human table would
+       corrupt it. *)
+    if json <> Some "-" then print_string (Tf_report.Explain.render e);
+    (match json with
+    | Some path -> emit_json ~what:"explain JSON" path (Tf_report.Explain.to_json e)
+    | None -> ());
+    match sim_trace with
+    | Some path -> emit_json ~what:"sim trace" path (Tf_report.Explain.trace e)
+    | None -> ()
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"TileSeek search seed.")
+  in
+  let causal_arg =
+    Arg.(value & flag & info [ "causal" ] ~doc:"Use causal (masked decoder) self-attention.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the report as a transfusion.explain/1 JSON document to $(docv) (\"-\" for \
+             stdout, suppressing the table).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Search a TransFusion tiling, simulate its DPipe schedule and report per-Einsum \
+          bottlenecks, stall attribution, buffer occupancy and search convergence")
+    Term.(
+      const run $ obs_term $ arch_arg $ model_arg $ seq_arg $ batch_arg $ iterations_arg
+      $ seed_arg $ causal_arg $ json_arg $ sim_trace_arg)
 
 let figures_cmd =
   let run obs quick =
@@ -447,7 +529,7 @@ let export_cmd =
     Term.(const run $ obs_term $ dir_arg $ quick_arg)
 
 let decode_cmd =
-  let run obs arch models gen batch strategies iterations quick json =
+  let run obs arch models gen batch strategies iterations quick json sim_trace =
     obs @@ fun () ->
     let module E = Tf_experiments in
     let models = match models with [] -> [ Tf_workloads.Presets.bert; Tf_workloads.Presets.llama3 ] | ms -> ms in
@@ -456,16 +538,35 @@ let decode_cmd =
       E.Exp_generation.sweep ~quick ~gen ~batch ~strategies ~tileseek_iterations:iterations
         [ arch ] models
     in
-    E.Exp_generation.print
-      ~title:
-        (Printf.sprintf "Autoregressive generation on %s (gen=%d, batch=%d)"
-           arch.Tf_arch.Arch.name gen batch)
-      points;
-    match json with
+    if json <> Some "-" && sim_trace <> Some "-" then
+      E.Exp_generation.print
+        ~title:
+          (Printf.sprintf "Autoregressive generation on %s (gen=%d, batch=%d)"
+             arch.Tf_arch.Arch.name gen batch)
+        points;
+    (match json with
     | None -> ()
-    | Some path ->
-        E.Export.Json.write ~path (E.Exp_generation.to_json points);
-        Fmt.pr "wrote %s@." path
+    | Some path -> emit_json ~what:"generation JSON" path (E.Exp_generation.to_json points));
+    match sim_trace with
+    | None -> ()
+    | Some path -> (
+        (* Trace the deepest-cache decode step of the last point that
+           carries a searched tiling (TransFusion). *)
+        let searched =
+          List.rev points
+          |> List.find_opt (fun (p : E.Exp_generation.point) ->
+                 p.E.Exp_generation.metrics.Transfusion.Decode.decode_tiling <> None)
+        in
+        match searched with
+        | None -> Fmt.epr "sim-trace skipped: no point used a searched (TransFusion) tiling@."
+        | Some p ->
+            let m = p.E.Exp_generation.metrics in
+            let spec = m.Transfusion.Decode.spec in
+            let w = Tf_workloads.Generation.decode_workload spec in
+            let attention =
+              Strategies.Decode { kv_len = Tf_workloads.Generation.kv_last spec }
+            in
+            write_sim_trace ~attention ~tiling:m.Transfusion.Decode.decode_tiling arch w path)
   in
   let models_arg =
     Arg.(
@@ -502,7 +603,7 @@ let decode_cmd =
           across prompt lengths (prefill + KV-cache decode)")
     Term.(
       const run $ obs_term $ arch_arg $ models_arg $ gen_arg $ batch_arg $ strategies_arg
-      $ iterations_arg $ quick_arg $ json_arg)
+      $ iterations_arg $ quick_arg $ json_arg $ sim_trace_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -512,6 +613,7 @@ let () =
          sweep_cmd;
          search_cmd;
          schedule_cmd;
+         explain_cmd;
          decode_cmd;
          figures_cmd;
          ablations_cmd;

@@ -209,6 +209,38 @@ let find snap name = List.assoc_opt name snap
 let counter_value snap name =
   match find snap name with Some (Counter_v n) -> Some n | _ -> None
 
+module Snapshot = struct
+  let diff ~before after =
+    let delta name v =
+      match (v, List.assoc_opt name before) with
+      | Counter_v a, Some (Counter_v b) -> if a = b then None else Some (Counter_v (a - b))
+      | Counter_v 0, None -> None
+      | Counter_v _, None -> Some v
+      (* Gauges are levels, not accumulators: report the new level when
+         it moved. *)
+      | Gauge_v a, Some (Gauge_v b) -> if a = b then None else Some (Gauge_v a)
+      | Gauge_v a, None -> if a = 0. then None else Some v
+      | Histogram_v h, Some (Histogram_v p) ->
+          if h.count = p.count then None
+          else
+            let buckets =
+              List.map
+                (fun (bound, n) ->
+                  let prev =
+                    match List.assoc_opt bound p.buckets with Some m -> m | None -> 0
+                  in
+                  (bound, n - prev))
+                h.buckets
+            in
+            Some (Histogram_v { count = h.count - p.count; sum = h.sum -. p.sum; buckets })
+      | Histogram_v h, None -> if h.count = 0 then None else Some v
+      (* A name that changed kind between snapshots (registry rebuilt):
+         report the new reading verbatim. *)
+      | _, Some _ -> Some v
+    in
+    List.filter_map (fun (name, v) -> Option.map (fun d -> (name, d)) (delta name v)) after
+end
+
 let reset () =
   with_registry (fun () ->
       Hashtbl.iter

@@ -92,6 +92,17 @@ val find : snapshot -> string -> value option
 val counter_value : snapshot -> string -> int option
 (** [find] specialised to counters ([None] on kind mismatch). *)
 
+(** Operations on whole snapshots. *)
+module Snapshot : sig
+  val diff : before:snapshot -> snapshot -> snapshot
+  (** [diff ~before after] is the per-metric change between two
+      snapshots of the same process: counters and histograms become
+      deltas (count, sum and every bucket), gauges keep their new level.
+      Metrics that did not move — and metrics only present in [before] —
+      are dropped, so a per-step report shows exactly what the step did.
+      The result is a valid snapshot (sorted, since [after] is). *)
+end
+
 val reset : unit -> unit
 (** Zero every registered metric (tests, repeated bench phases). *)
 

@@ -1,0 +1,287 @@
+module Json = Tf_experiments.Export.Json
+module Arch = Tf_arch.Arch
+module Workload = Tf_workloads.Workload
+module Model = Tf_workloads.Model
+module Strategies = Transfusion.Strategies
+module Tileseek = Transfusion.Tileseek
+module Cascades = Transfusion.Cascades
+module Layer_costs = Transfusion.Layer_costs
+module Buffer_req = Transfusion.Buffer_req
+module Dpipe = Transfusion.Dpipe
+module Sim = Transfusion.Pipeline_sim
+module Roofline = Tf_costmodel.Roofline
+module Latency = Tf_costmodel.Latency
+
+type buffer_row = { module_name : string; elements : float; fraction : float }
+
+type t = {
+  arch : Arch.t;
+  workload : Workload.t;
+  attention : Strategies.attention;
+  tiling : Tileseek.config;
+  latency_s : float;
+  sched : Dpipe.t;
+  outcome : Sim.outcome;
+  events : Sim.event list;
+  rollup : Rollup.t;
+  buffers : buffer_row list;
+  capacity_elements : float;
+  convergence : Convergence.t option;
+}
+
+(* Mirrors Strategies' internal normalisation: DAG node loads are the
+   whole-layer totals spread over a nominal 256 pipeline epochs.  The
+   scale divides out of every ratio reported here. *)
+let nominal_epochs = 256.
+
+let qkv_module = "QKV"
+let mha_module = "MHA"
+let ln_module = "Add+LayerNorm"
+let ffn_module = "FFN"
+
+(* Operation name -> Table 2 module, from the constituent cascades (the
+   fused layer is their concatenation, names preserved). *)
+let module_table activation =
+  let tbl = Hashtbl.create 64 in
+  let add m cascade =
+    List.iter
+      (fun (op : Tf_einsum.Einsum.t) -> Hashtbl.replace tbl op.Tf_einsum.Einsum.name m)
+      (Tf_einsum.Cascade.ops cascade)
+  in
+  add qkv_module (Cascades.qkv ());
+  add mha_module (Cascades.mha ());
+  add ln_module (Cascades.add_layernorm ());
+  add ffn_module (Cascades.ffn activation);
+  tbl
+
+let attention_params (w : Workload.t) = function
+  | Strategies.Self -> (w.Workload.seq_len, w.Workload.seq_len, false, false)
+  | Strategies.Causal_self -> (w.Workload.seq_len, w.Workload.seq_len, true, false)
+  | Strategies.Cross { kv_len } -> (kv_len, kv_len, false, false)
+  | Strategies.Decode { kv_len } -> (kv_len, w.Workload.seq_len, false, true)
+
+let attention_name = function
+  | Strategies.Self -> "self"
+  | Strategies.Causal_self -> "causal"
+  | Strategies.Cross { kv_len } -> Printf.sprintf "cross(kv=%d)" kv_len
+  | Strategies.Decode { kv_len } -> Printf.sprintf "decode(kv=%d)" kv_len
+
+let simulate ?(attention = Strategies.Self) ~tiling arch (w : Workload.t) =
+  let kv_len, kv_proj_len, causal, decode = attention_params w attention in
+  let activation = w.Workload.model.Model.activation in
+  let cascade = Cascades.full_layer activation in
+  let totals =
+    Array.of_list (Layer_costs.op_totals ~m0:tiling.Tileseek.m0 ~kv_len ~kv_proj_len ~causal w cascade)
+  in
+  let g = Tf_einsum.Cascade.to_dag cascade in
+  let op n = totals.(n).Layer_costs.op in
+  let load n = totals.(n).Layer_costs.total /. nominal_epochs in
+  let matrix n = Tf_einsum.Einsum.is_matrix_op (op n) in
+  let sched = Dpipe.schedule arch ~load ~matrix g in
+  let outcome, events =
+    match Sim.replay_events arch ~load ~matrix g sched with
+    | Ok pair -> pair
+    | Error e -> invalid_arg ("Explain.simulate: schedule replay failed: " ^ e)
+  in
+  let modules = module_table activation in
+  let module_of n =
+    match Hashtbl.find_opt modules (op n).Tf_einsum.Einsum.name with
+    | Some m -> m
+    | None -> "?"
+  in
+  let extents = Layer_costs.tile_extents w ~m0:tiling.Tileseek.m0 in
+  let rooflines =
+    Array.init (Array.length totals) (fun n -> Roofline.of_einsum arch extents (op n))
+  in
+  let rollup =
+    Rollup.of_events ~outcome
+      ~label:(fun n -> (op n).Tf_einsum.Einsum.name)
+      ~module_of
+      ~roofline:(fun n -> rooflines.(n))
+      events
+  in
+  let dims = Tileseek.dims ~kv_len arch w tiling in
+  let capacity_elements = float_of_int (Arch.buffer_elements arch) in
+  let buffers =
+    List.map
+      (fun (module_name, elements) ->
+        { module_name; elements; fraction = elements /. capacity_elements })
+      [
+        (qkv_module, Buffer_req.qkv dims);
+        (mha_module, (if decode then Buffer_req.mha_decode dims else Buffer_req.mha dims));
+        (ln_module, Buffer_req.add_layernorm dims);
+        (ffn_module, Buffer_req.ffn dims);
+      ]
+  in
+  let latency_s =
+    let phases, _ = Strategies.phases ~tiling ~attention arch w Strategies.Transfusion in
+    (Latency.evaluate arch phases).Latency.total_s
+  in
+  {
+    arch;
+    workload = w;
+    attention;
+    tiling;
+    latency_s;
+    sched;
+    outcome;
+    events;
+    rollup;
+    buffers;
+    capacity_elements;
+    convergence = None;
+  }
+
+let run ?(iterations = 200) ?(seed = 42) ?(attention = Strategies.Self) arch (w : Workload.t) =
+  let kv_len, _, _, decode = attention_params w attention in
+  let kv_opt = if kv_len = w.Workload.seq_len then None else Some kv_len in
+  let evaluate config =
+    let phases, _ = Strategies.phases ~tiling:config ~attention arch w Strategies.Transfusion in
+    (Latency.evaluate arch phases).Latency.total_s
+  in
+  let probes = ref [] in
+  let probe p = probes := p :: !probes in
+  let tiling, stats =
+    Tileseek.search ~iterations ~seed ?kv_len:kv_opt ~decode ~probe arch w ~evaluate ()
+  in
+  let convergence = Convergence.of_probes ~seed ~stats (List.rev !probes) in
+  { (simulate ~attention ~tiling arch w) with convergence = Some convergence }
+
+let render t =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let w = t.workload in
+  let c = t.tiling in
+  pf "explain: %s on %s, seq=%d batch=%d attention=%s\n" w.Workload.model.Model.name
+    t.arch.Arch.name w.Workload.seq_len w.Workload.batch (attention_name t.attention);
+  pf "tiling: b=%d d=%d p=%d m1=%d m0=%d s=%d\n" c.Tileseek.b c.Tileseek.d c.Tileseek.p
+    c.Tileseek.m1 c.Tileseek.m0 c.Tileseek.s;
+  pf "cost-model latency: %.4e s\n" t.latency_s;
+  pf "DPipe: %d epochs unrolled, steady interval %.4e cycles/epoch, sim %s analytic makespan\n"
+    t.sched.Dpipe.epochs_unrolled t.sched.Dpipe.steady_interval_cycles
+    (if Sim.agrees t.sched t.outcome then "matches" else "DISAGREES with");
+  pf "\n%s" (Rollup.render t.rollup);
+  pf "\nbuffer occupancy (Table 2, %.0f elements capacity):\n" t.capacity_elements;
+  List.iter
+    (fun b -> pf "  %-14s %12.0f elements  %5.1f%%\n" b.module_name b.elements (100. *. b.fraction))
+    t.buffers;
+  (match t.convergence with
+  | Some c -> pf "\n%s" (Convergence.render c)
+  | None -> ());
+  Buffer.contents buf
+
+let tiling_json (c : Tileseek.config) =
+  Json.Obj
+    [
+      ("b", Json.Int c.Tileseek.b);
+      ("d", Json.Int c.Tileseek.d);
+      ("p", Json.Int c.Tileseek.p);
+      ("m1", Json.Int c.Tileseek.m1);
+      ("m0", Json.Int c.Tileseek.m0);
+      ("s", Json.Int c.Tileseek.s);
+    ]
+
+let attention_json att =
+  let kind, kv =
+    match att with
+    | Strategies.Self -> ("self", None)
+    | Strategies.Causal_self -> ("causal", None)
+    | Strategies.Cross { kv_len } -> ("cross", Some kv_len)
+    | Strategies.Decode { kv_len } -> ("decode", Some kv_len)
+  in
+  Json.Obj
+    [
+      ("kind", Json.Str kind);
+      ("kv_len", match kv with Some n -> Json.Int n | None -> Json.Null);
+    ]
+
+let schedule_json t =
+  let s = t.sched in
+  let stage names = Json.List (List.map (fun n -> Json.Str n) names) in
+  let stage1, stage2 =
+    match s.Dpipe.partition with
+    | Some p ->
+        let label_of =
+          let by_node = Hashtbl.create 32 in
+          List.iter
+            (fun (r : Rollup.row) -> Hashtbl.replace by_node r.Rollup.node r.Rollup.label)
+            t.rollup.Rollup.rows;
+          fun i -> match Hashtbl.find_opt by_node i with Some l -> l | None -> string_of_int i
+        in
+        ( List.map label_of p.Tf_dag.Partition.first,
+          List.map label_of p.Tf_dag.Partition.second )
+    | None -> ([], [])
+  in
+  Json.Obj
+    [
+      ("epochs_unrolled", Json.Int s.Dpipe.epochs_unrolled);
+      ("makespan_cycles", Json.Num s.Dpipe.makespan_cycles);
+      ("steady_interval_cycles", Json.Num s.Dpipe.steady_interval_cycles);
+      ("sim_makespan_cycles", Json.Num t.outcome.Sim.makespan_cycles);
+      ("sim_matches_analytic", Json.Bool (Sim.agrees t.sched t.outcome));
+      ("stage1", stage stage1);
+      ("stage2", stage stage2);
+    ]
+
+let to_json t =
+  let w = t.workload in
+  Json.Obj
+    [
+      ("schema", Json.Str "transfusion.explain/1");
+      ("arch", Json.Str t.arch.Arch.name);
+      ("model", Json.Str w.Workload.model.Model.name);
+      ("seq_len", Json.Int w.Workload.seq_len);
+      ("batch", Json.Int w.Workload.batch);
+      ("attention", attention_json t.attention);
+      ("tiling", tiling_json t.tiling);
+      ("latency_s", Json.Num t.latency_s);
+      ("schedule", schedule_json t);
+      ("rollup", Rollup.to_json t.rollup);
+      ( "buffers",
+        Json.Obj
+          [
+            ("capacity_elements", Json.Num t.capacity_elements);
+            ( "modules",
+              Json.List
+                (List.map
+                   (fun b ->
+                     Json.Obj
+                       [
+                         ("module", Json.Str b.module_name);
+                         ("elements", Json.Num b.elements);
+                         ("fraction", Json.Num b.fraction);
+                       ])
+                   t.buffers) );
+          ] );
+      ( "convergence",
+        match t.convergence with Some c -> Convergence.to_json c | None -> Json.Null );
+    ]
+
+let trace t =
+  let by_node = Hashtbl.create 32 in
+  List.iter
+    (fun (r : Rollup.row) -> Hashtbl.replace by_node r.Rollup.node r)
+    t.rollup.Rollup.rows;
+  let requirement = Hashtbl.create 8 in
+  List.iter (fun b -> Hashtbl.replace requirement b.module_name b.elements) t.buffers;
+  let instances =
+    List.map
+      (fun (e : Sim.event) ->
+        let row = Hashtbl.find by_node e.Sim.node in
+        {
+          Sim_trace.event = e;
+          label = row.Rollup.label;
+          module_name = row.Rollup.module_name;
+          bound = row.Rollup.bound;
+          buffer_elements =
+            (match Hashtbl.find_opt requirement row.Rollup.module_name with
+            | Some v -> v
+            | None -> 0.);
+        })
+      t.events
+  in
+  Sim_trace.document
+    ~name:
+      (Printf.sprintf "transfusion sim: %s/%s" t.arch.Arch.name
+         t.workload.Workload.model.Model.name)
+    ~capacity_elements:t.capacity_elements instances

@@ -1,0 +1,69 @@
+(** The [transfusion explain] report: one workload's TransFusion
+    execution, explained end to end.
+
+    Runs (or is given) a TileSeek tiling, rebuilds the fused-layer DAG
+    and its DPipe schedule exactly as {!Transfusion.Strategies} does for
+    the TransFusion strategy, replays it through
+    {!Transfusion.Pipeline_sim.replay_events}, and assembles:
+
+    - the per-Einsum bottleneck/utilisation {!Rollup} with roofline
+      verdicts,
+    - the Table 2 buffer occupancy per module against capacity,
+    - the search {!Convergence} report (when a search ran),
+    - a Perfetto-loadable {!Sim_trace} of the simulated timeline.
+
+    Everything is deterministic for a fixed seed and serialises through
+    {!Tf_experiments.Export.Json} as schema [transfusion.explain/1]. *)
+
+type buffer_row = {
+  module_name : string;
+  elements : float;  (** Table 2 on-chip requirement for the chosen tiling *)
+  fraction : float;  (** over buffer capacity *)
+}
+
+type t = {
+  arch : Tf_arch.Arch.t;
+  workload : Tf_workloads.Workload.t;
+  attention : Transfusion.Strategies.attention;
+  tiling : Transfusion.Tileseek.config;
+  latency_s : float;  (** cost-model whole-model latency under [tiling] *)
+  sched : Transfusion.Dpipe.t;
+  outcome : Transfusion.Pipeline_sim.outcome;
+  events : Transfusion.Pipeline_sim.event list;
+  rollup : Rollup.t;
+  buffers : buffer_row list;  (** Table 2 order: QKV, MHA, Add+LayerNorm, FFN *)
+  capacity_elements : float;
+  convergence : Convergence.t option;  (** [None] when the tiling was given *)
+}
+
+val simulate :
+  ?attention:Transfusion.Strategies.attention ->
+  tiling:Transfusion.Tileseek.config ->
+  Tf_arch.Arch.t ->
+  Tf_workloads.Workload.t ->
+  t
+(** Explain a {e given} tiling (no search, [convergence = None]) — the
+    path behind [--sim-trace] on [eval]/[decode].
+    @raise Invalid_argument when the tiling does not divide the workload
+    (same conditions as {!Transfusion.Tileseek.dims}). *)
+
+val run :
+  ?iterations:int ->
+  ?seed:int ->
+  ?attention:Transfusion.Strategies.attention ->
+  Tf_arch.Arch.t ->
+  Tf_workloads.Workload.t ->
+  t
+(** Search a tiling with TileSeek (probed — [iterations] defaults to 200,
+    [seed] to 42, matching the CLI), then {!simulate} it, with the
+    {!Convergence} report attached.  Deterministic for fixed seed. *)
+
+val render : t -> string
+(** The human-facing report: workload/tiling header, schedule summary,
+    rollup table, buffer table, convergence summary. *)
+
+val to_json : t -> Tf_experiments.Export.Json.t
+(** Schema [transfusion.explain/1] (documented in EXPERIMENTS.md). *)
+
+val trace : t -> Tf_experiments.Export.Json.t
+(** The {!Sim_trace} document of the simulated timeline. *)

@@ -1,0 +1,38 @@
+(** A minimal recursive-descent JSON reader (no external dependency) —
+    the input side of {!Bench_diff}, which must re-read the bench
+    harness's [transfusion-bench/v1] documents.  The write side stays in
+    {!Tf_experiments.Export.Json}; this module only consumes.  No
+    streaming, no number-precision preservation beyond OCaml floats. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Bad_json of string
+(** Raised by {!parse} on malformed input and by the strict accessors on
+    shape mismatches, with an offset or field message. *)
+
+val parse : string -> t
+(** @raise Bad_json on malformed input (including trailing garbage). *)
+
+val parse_file : string -> t
+(** {!parse} the whole contents of a file.
+    @raise Sys_error on I/O failure.  @raise Bad_json on malformed JSON. *)
+
+val member : string -> t -> t
+(** Strict object field lookup.  @raise Bad_json when missing. *)
+
+val find : string -> t -> t option
+(** Optional object field lookup ([None] on missing field or non-object). *)
+
+val to_list : t -> t list
+val to_float : t -> float
+val to_string : t -> string
+
+val float_opt : t -> float option
+(** [Some f] for numbers, [None] otherwise — tolerant extraction for
+    documents whose optional fields may be absent or null. *)

@@ -1,0 +1,40 @@
+(** Chrome trace-event rendering of a {e simulated} schedule timeline.
+
+    The wall-clock observability layer ({!Tf_obs.Trace}) records what the
+    framework itself did; this module renders what the {e modeled
+    accelerator} would do: every {!Transfusion.Pipeline_sim.event} becomes
+    a complete ("ph":"X") slice on a per-PE-array track, with timestamps
+    on a virtual cycle clock (1 trace microsecond = 1 cycle).  A counter
+    track samples the on-chip buffer occupancy (the Table 2 requirement of
+    the module executing at each instant, the fused stack's residency
+    model) against the capacity limit.
+
+    The document loads in Perfetto / chrome://tracing and serialises
+    through {!Tf_experiments.Export.Json}, so it is deterministic and
+    diffable.  Folding the slice durations per track reproduces the
+    simulation outcome's busy totals (the property the tests pin). *)
+
+type instance = {
+  event : Transfusion.Pipeline_sim.event;
+  label : string;  (** operation name, e.g. ["BQK"] *)
+  module_name : string;  (** Table 2 module the operation belongs to *)
+  bound : [ `Compute | `Memory ];  (** roofline class under tile extents *)
+  buffer_elements : float;
+      (** the module's Table 2 on-chip requirement while this instance
+          executes (elements) *)
+}
+
+val document :
+  ?name:string -> capacity_elements:float -> instance list -> Tf_experiments.Export.Json.t
+(** [document ~capacity_elements instances] builds the trace document:
+    top-level [schema = "transfusion.simtrace/1"], [traceEvents] with
+    thread-name metadata for the two PE-array tracks, one "X" slice per
+    instance ([ts] = start cycle, [dur] = busy cycles, args carrying the
+    stall attribution), and "C" counter samples for buffer occupancy and
+    capacity at every instance start/end boundary.  [name] labels the
+    process track (default ["transfusion sim"]).  Slices appear in the
+    input's (completion) order; counters in ascending cycle order. *)
+
+val write : path:string -> Tf_experiments.Export.Json.t -> unit
+(** {!Tf_experiments.Export.Json.write} with ["-"] routed to stdout —
+    the CLI convention for every report artifact. *)

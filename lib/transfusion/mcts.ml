@@ -8,6 +8,16 @@ type stats = {
   terminals_evaluated : int;
   best_reward : float;
   tree_nodes : int;
+  max_depth : int;
+  mean_branching : float;
+}
+
+type probe = {
+  iteration : int;
+  best_reward_so_far : float;
+  terminals_so_far : int;
+  tree_nodes_so_far : int;
+  depth : int;
 }
 
 type 'action node = {
@@ -38,7 +48,29 @@ let ucb1 ~exploration ~parent_visits node =
     (node.total_reward /. float_of_int node.visits)
     +. (exploration *. sqrt (log (float_of_int parent_visits) /. float_of_int node.visits))
 
-let search ?(exploration = Float.sqrt 2.) ?transposition ~rng ~iterations problem =
+(* In-tree shape statistics: max root-to-leaf depth and the mean
+   branching factor over expanded internal nodes (the convergence
+   report's view of how far the search has committed). *)
+let tree_shape root =
+  let max_depth = ref 0 in
+  let internal = ref 0 in
+  let children_total = ref 0 in
+  let rec walk depth node =
+    if depth > !max_depth then max_depth := depth;
+    match node.children with
+    | [] -> ()
+    | cs ->
+        incr internal;
+        children_total := !children_total + List.length cs;
+        List.iter (fun (_, c) -> walk (depth + 1) c) cs
+  in
+  walk 0 root;
+  let mean_branching =
+    if !internal = 0 then 0. else float_of_int !children_total /. float_of_int !internal
+  in
+  (!max_depth, mean_branching)
+
+let search ?(exploration = Float.sqrt 2.) ?transposition ?probe ~rng ~iterations problem =
   let root = make_node (problem.actions []) in
   let best = ref None in
   let terminals = ref 0 in
@@ -72,7 +104,7 @@ let search ?(exploration = Float.sqrt 2.) ?transposition ~rng ~iterations proble
         let pick = List.nth candidates (Random.State.int rng (List.length candidates)) in
         rollout (pick :: path_rev)
   in
-  for _ = 1 to iterations do
+  for iteration = 1 to iterations do
     Tf_obs.Counter.incr m_rollouts;
     (* Selection: walk UCB1-best children while fully expanded. *)
     let rec select node path_rev trail =
@@ -114,14 +146,28 @@ let search ?(exploration = Float.sqrt 2.) ?transposition ~rng ~iterations proble
       (fun n ->
         n.visits <- n.visits + 1;
         n.total_reward <- n.total_reward +. reward)
-      trail
+      trail;
+    match probe with
+    | None -> ()
+    | Some f ->
+        f
+          {
+            iteration;
+            best_reward_so_far = (match !best with Some (_, r) -> r | None -> Float.neg_infinity);
+            terminals_so_far = !terminals;
+            tree_nodes_so_far = !tree_nodes;
+            depth = List.length trail - 1;
+          }
   done;
+  let max_depth, mean_branching = tree_shape root in
   let stats =
     {
       iterations;
       terminals_evaluated = !terminals;
       best_reward = (match !best with Some (_, r) -> r | None -> Float.neg_infinity);
       tree_nodes = !tree_nodes;
+      max_depth;
+      mean_branching;
     }
   in
   (!best, stats)

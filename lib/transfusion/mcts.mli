@@ -22,11 +22,27 @@ type stats = {
   terminals_evaluated : int;
   best_reward : float;
   tree_nodes : int;
+  max_depth : int;  (** deepest expanded root-to-leaf path in the tree *)
+  mean_branching : float;
+      (** mean child count over expanded internal nodes (0 when the tree
+          is a bare root) *)
 }
+
+type probe = {
+  iteration : int;  (** 1-based iteration index *)
+  best_reward_so_far : float;  (** [neg_infinity] before any terminal *)
+  terminals_so_far : int;
+  tree_nodes_so_far : int;
+  depth : int;  (** in-tree depth this iteration selected/expanded to *)
+}
+(** A per-iteration observation of search progress, delivered through the
+    [probe] callback — the raw series behind {!Tf_report}'s convergence
+    report (best-reward-vs-rollout curve, tree growth). *)
 
 val search :
   ?exploration:float ->
   ?transposition:('action list, float) Hashtbl.t ->
+  ?probe:(probe -> unit) ->
   rng:Random.State.t ->
   iterations:int ->
   'action problem ->
@@ -39,5 +55,7 @@ val search :
     must be a pure function of the path this cannot change any result
     (and [terminals_evaluated] still counts every rollout terminal,
     cached or not).  Callers may pre-seed or reuse the table across
-    searches over the same problem.  Deterministic for a given [rng]
-    state. *)
+    searches over the same problem.  [probe], when given, is invoked once
+    at the end of every iteration with the progress so far; it observes
+    the search without influencing it, so the result is identical with or
+    without it.  Deterministic for a given [rng] state. *)

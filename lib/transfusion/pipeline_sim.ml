@@ -8,10 +8,41 @@ type outcome = {
   instances : int;
 }
 
+type event = {
+  node : int;
+  epoch : int;
+  resource : Arch.resource;
+  ready_cycle : float;
+  queue_free_cycle : float;
+  start_cycle : float;
+  end_cycle : float;
+}
+
+(* Stall attribution (DESIGN.md "simulation telemetry"): an instance's
+   span runs from the moment it could first have mattered to its PE
+   array — min(ready, queue_free) — to its completion.  Exactly one of
+   the two wait classes is nonzero:
+
+   - dependency wait: the array sat free while predecessors were still
+     running (ready > queue_free);
+   - resource wait: the instance sat ready while the array drained
+     earlier work (queue_free > ready).
+
+   So span = dep_wait + resource_wait + busy holds exactly, not just to
+   tolerance — the identity the property tests pin. *)
+let dep_wait e = Float.max 0. (e.ready_cycle -. e.queue_free_cycle)
+let resource_wait e = Float.max 0. (e.queue_free_cycle -. e.ready_cycle)
+let busy e = e.end_cycle -. e.start_cycle
+let span e = e.end_cycle -. Float.min e.ready_cycle e.queue_free_cycle
+
 let instance_latency arch ~load ~matrix node resource =
   load node /. Arch.effective_pes arch resource ~matrix:(matrix node)
 
-let replay arch ~load ~matrix g (sched : Dpipe.t) =
+(* The discrete-event core.  [record] switches event accumulation on;
+   events append in completion order, so per-resource folds over the
+   event list replay the exact floating-point sequence that produced
+   the busy totals (bit-identical sums). *)
+let replay_core arch ~load ~matrix ~record g (sched : Dpipe.t) =
   (* Per-resource issue queues, in the schedule's start order. *)
   let by_resource r =
     List.filter (fun (a : Dpipe.assignment) -> a.Dpipe.resource = r) sched.Dpipe.assignments
@@ -38,6 +69,7 @@ let replay arch ~load ~matrix g (sched : Dpipe.t) =
   let completed = ref 0 in
   let makespan = ref 0. in
   let progress = ref true in
+  let events = ref [] in
   while !completed < total && !progress do
     progress := false;
     List.iter
@@ -49,7 +81,8 @@ let replay arch ~load ~matrix g (sched : Dpipe.t) =
             | None -> () (* dependency not finished yet; try other resources *)
             | Some ready ->
                 let free_at = List.assoc r free in
-                let start = Float.max !free_at ready in
+                let queue_free = !free_at in
+                let start = Float.max queue_free ready in
                 let latency = instance_latency arch ~load ~matrix head.Dpipe.node r in
                 let finish = start +. latency in
                 Hashtbl.replace finished (head.Dpipe.node, head.Dpipe.epoch) finish;
@@ -57,6 +90,18 @@ let replay arch ~load ~matrix g (sched : Dpipe.t) =
                 let b = List.assoc r busy in
                 b := !b +. latency;
                 makespan := Float.max !makespan finish;
+                if record then
+                  events :=
+                    {
+                      node = head.Dpipe.node;
+                      epoch = head.Dpipe.epoch;
+                      resource = r;
+                      ready_cycle = ready;
+                      queue_free_cycle = queue_free;
+                      start_cycle = start;
+                      end_cycle = finish;
+                    }
+                    :: !events;
                 queue := rest;
                 incr completed;
                 progress := true))
@@ -65,12 +110,19 @@ let replay arch ~load ~matrix g (sched : Dpipe.t) =
   if !completed < total then Error "deadlock: issue order violates dependencies"
   else
     Ok
-      {
-        makespan_cycles = !makespan;
-        busy_1d_cycles = !(List.assoc Arch.Pe_1d busy);
-        busy_2d_cycles = !(List.assoc Arch.Pe_2d busy);
-        instances = total;
-      }
+      ( {
+          makespan_cycles = !makespan;
+          busy_1d_cycles = !(List.assoc Arch.Pe_1d busy);
+          busy_2d_cycles = !(List.assoc Arch.Pe_2d busy);
+          instances = total;
+        },
+        List.rev !events )
+
+let replay arch ~load ~matrix g sched =
+  Result.map fst (replay_core arch ~load ~matrix ~record:false g sched)
+
+let replay_events arch ~load ~matrix g sched =
+  replay_core arch ~load ~matrix ~record:true g sched
 
 let agrees ?(tol = 1e-6) (sched : Dpipe.t) outcome =
   let a = sched.Dpipe.makespan_cycles and b = outcome.makespan_cycles in

@@ -8,6 +8,12 @@
     equal the analytic one — an independent check of the scheduler
     implementation, exercised by the property tests.
 
+    {!replay_events} additionally records one structured {!event} per
+    operation instance, carrying enough timing to attribute every
+    non-busy cycle to a dependency wait or a resource wait — the raw
+    material of the {!Tf_report} telemetry layer (simulated-timeline
+    traces, per-Einsum bottleneck rollups).
+
     Also provides a text Gantt rendering of a schedule for inspection
     (used by the CLI's [schedule] command). *)
 
@@ -18,6 +24,35 @@ type outcome = {
   instances : int;
 }
 
+type event = {
+  node : int;
+  epoch : int;
+  resource : Tf_arch.Arch.resource;
+  ready_cycle : float;
+      (** when the last same-epoch dependency completed (0 for sources) *)
+  queue_free_cycle : float;
+      (** when the assigned PE array drained its previous instance *)
+  start_cycle : float;  (** [max ready queue_free] *)
+  end_cycle : float;
+}
+
+val dep_wait : event -> float
+(** Cycles the PE array sat free waiting on the instance's dependencies:
+    [max 0 (ready - queue_free)]. *)
+
+val resource_wait : event -> float
+(** Cycles the instance sat ready while its PE array was busy:
+    [max 0 (queue_free - ready)]. *)
+
+val busy : event -> float
+(** [end - start] — the instance's execution time. *)
+
+val span : event -> float
+(** [end - min ready queue_free].  Exactly
+    [dep_wait + resource_wait + busy]: every cycle of the span is
+    attributed to exactly one class (the accounting identity the
+    property tests pin). *)
+
 val replay :
   Tf_arch.Arch.t ->
   load:(int -> float) ->
@@ -27,6 +62,18 @@ val replay :
   (outcome, string) result
 (** Replay the schedule.  [Error] on deadlock — which would mean the
     schedule's issue order violates its own dependencies. *)
+
+val replay_events :
+  Tf_arch.Arch.t ->
+  load:(int -> float) ->
+  matrix:(int -> bool) ->
+  'a Tf_dag.Dag.t ->
+  Dpipe.t ->
+  (outcome * event list, string) result
+(** Like {!replay}, additionally returning one event per instance in
+    completion order.  Folding [busy] over a resource's events in list
+    order reproduces the outcome's busy total {e bit-identically} (the
+    same float additions in the same order). *)
 
 val agrees : ?tol:float -> Dpipe.t -> outcome -> bool
 (** True when the simulated makespan matches the analytic one within a

@@ -232,16 +232,21 @@ let m_memo_misses =
    model (the expensive Timeloop/Accelergy role), and the seeding passes,
    the grid sweep and MCTS rollouts revisit the same configurations many
    times over.  One search call runs on one domain, so a plain Hashtbl
-   suffices. *)
-let memoize_cost f =
+   suffices.  [hits]/[misses], when given, additionally count into local
+   refs so one search's own memo trajectory can be reported (the global
+   Tf_obs counters aggregate across every search in the process). *)
+let memoize_cost ?hits ?misses f =
   let tbl : (config, float) Hashtbl.t = Hashtbl.create 256 in
+  let bump = function None -> () | Some r -> incr r in
   fun c ->
     match Hashtbl.find_opt tbl c with
     | Some v ->
         Tf_obs.Counter.incr m_memo_hits;
+        bump hits;
         v
     | None ->
         Tf_obs.Counter.incr m_memo_misses;
+        bump misses;
         let v = f c in
         Hashtbl.add tbl c v;
         v
@@ -298,7 +303,17 @@ let pareto ?(iterations = 200) ?kv_len ?decode arch w ~latency ~energy () =
   List.filter (fun entry -> not (dominated entry)) scored
   |> List.sort (fun (_, l1, _) (_, l2, _) -> compare l1 l2)
 
-let search ?(iterations = 400) ?(seed = 42) ?kv_len ?decode arch w ~evaluate () =
+type probe = {
+  rollout : int;
+  best_reward : float;
+  terminals : int;
+  tree_nodes : int;
+  depth : int;
+  cost_memo_hits : int;
+  cost_memo_misses : int;
+}
+
+let search ?(iterations = 400) ?(seed = 42) ?kv_len ?decode ?probe arch w ~evaluate () =
   let sp = space ?kv_len ?decode arch w in
   Tf_obs.Counter.incr m_searches;
   Tf_obs.Trace.with_span ~cat:"tileseek"
@@ -312,7 +327,8 @@ let search ?(iterations = 400) ?(seed = 42) ?kv_len ?decode arch w ~evaluate () 
       ]
     "tileseek.search"
   @@ fun () ->
-  let evaluate = memoize_cost evaluate in
+  let memo_hits = ref 0 and memo_misses = ref 0 in
+  let evaluate = memoize_cost ~hits:memo_hits ~misses:memo_misses evaluate in
   let seeds =
     grid_seed sp ~evaluate
     :: List.map (fun c -> (c, evaluate c)) (sp_greedy_variants sp)
@@ -343,7 +359,24 @@ let search ?(iterations = 400) ?(seed = 42) ?kv_len ?decode arch w ~evaluate () 
   in
   let rng = Random.State.make [| seed |] in
   let transposition = Hashtbl.create 256 in
-  let best, stats = Mcts.search ~transposition ~rng ~iterations { actions; reward } in
+  let mcts_probe =
+    Option.map
+      (fun f (p : Mcts.probe) ->
+        f
+          {
+            rollout = p.Mcts.iteration;
+            best_reward = p.Mcts.best_reward_so_far;
+            terminals = p.Mcts.terminals_so_far;
+            tree_nodes = p.Mcts.tree_nodes_so_far;
+            depth = p.Mcts.depth;
+            cost_memo_hits = !memo_hits;
+            cost_memo_misses = !memo_misses;
+          })
+      probe
+  in
+  let best, stats =
+    Mcts.search ?probe:mcts_probe ~transposition ~rng ~iterations { actions; reward }
+  in
   (* The hand heuristic competes with the search result: MCTS must beat
      it to displace it (reward 1.0 = the heuristic's own cost). *)
   let result =

@@ -80,11 +80,29 @@ val pareto :
     behind the EDP objective — the paper's reward can be either metric
     (Section 5.1). *)
 
+type probe = {
+  rollout : int;  (** 1-based MCTS iteration *)
+  best_reward : float;  (** best reward so far ([neg_infinity] before any) *)
+  terminals : int;  (** cumulative terminal paths considered *)
+  tree_nodes : int;  (** cumulative tree size *)
+  depth : int;  (** in-tree depth this rollout selected/expanded to *)
+  cost_memo_hits : int;
+      (** cumulative cost-model calls answered by this search's memo —
+          includes the seeding passes that ran before rollout 1 *)
+  cost_memo_misses : int;  (** cumulative full cost-model evaluations *)
+}
+(** One per-rollout observation of the search, delivered through the
+    [probe] callback of {!search} — the series behind
+    {!Tf_report.Convergence} (best-reward-vs-rollout curve, memo hit
+    trajectory).  Purely observational: a probed search returns exactly
+    what an unprobed one does. *)
+
 val search :
   ?iterations:int ->
   ?seed:int ->
   ?kv_len:int ->
   ?decode:bool ->
+  ?probe:(probe -> unit) ->
   Tf_arch.Arch.t ->
   Tf_workloads.Workload.t ->
   evaluate:(config -> float) ->

@@ -86,6 +86,49 @@ let test_snapshot_and_reset () =
   Obs.reset ();
   Alcotest.(check int) "reset zeroes" 0 (Obs.Counter.value c)
 
+let test_snapshot_diff () =
+  with_enabled @@ fun () ->
+  let c = Obs.Counter.create "test.diff.counter" in
+  let quiet = Obs.Counter.create "test.diff.quiet" in
+  let g = Obs.Gauge.create "test.diff.gauge" in
+  let h = Obs.Histogram.create ~buckets:[| 1.; 10. |] "test.diff.hist" in
+  Obs.Counter.add c 3;
+  Obs.Counter.add quiet 7;
+  Obs.Gauge.set g 1.0;
+  Obs.Histogram.observe h 0.5;
+  let before = Obs.snapshot () in
+  Obs.Counter.add c 5;
+  Obs.Gauge.set g 4.0;
+  Obs.Histogram.observe h 5.;
+  Obs.Histogram.observe h 100.;
+  let d = Obs.Snapshot.diff ~before (Obs.snapshot ()) in
+  Alcotest.(check (option int)) "counter delta" (Some 5) (Obs.counter_value d "test.diff.counter");
+  Alcotest.(check bool) "unchanged counter dropped" true
+    (Obs.find d "test.diff.quiet" = None);
+  (match Obs.find d "test.diff.gauge" with
+  | Some (Obs.Gauge_v v) -> Alcotest.(check (float 1e-12)) "gauge keeps new level" 4.0 v
+  | _ -> Alcotest.fail "moved gauge missing from diff");
+  (match Obs.find d "test.diff.hist" with
+  | Some (Obs.Histogram_v { count; sum; buckets }) ->
+      Alcotest.(check int) "histogram count delta" 2 count;
+      Alcotest.(check (float 1e-9)) "histogram sum delta" 105. sum;
+      Alcotest.(check (list (pair (float 1e-12) int)))
+        "per-bucket deltas"
+        [ (1., 0); (10., 1); (Float.infinity, 1) ]
+        buckets
+  | _ -> Alcotest.fail "histogram missing from diff")
+
+let test_snapshot_diff_new_metric () =
+  with_enabled @@ fun () ->
+  let before = Obs.snapshot () in
+  let c = Obs.Counter.create "test.diff.appeared" in
+  Obs.Counter.add c 2;
+  let d = Obs.Snapshot.diff ~before (Obs.snapshot ()) in
+  Alcotest.(check (option int)) "metric absent from before reports its reading" (Some 2)
+    (Obs.counter_value d "test.diff.appeared");
+  let names = List.map fst d in
+  Alcotest.(check (list string)) "diff stays sorted" (List.sort compare names) names
+
 (* Concurrent increments from every pool domain must all land: counters
    are atomics, not locked sections, so this exercises the contended
    path. *)
@@ -206,6 +249,8 @@ let () =
           quick "disabled is a no-op" test_disabled_is_noop;
           quick "histogram buckets" test_histogram_buckets;
           quick "snapshot and reset" test_snapshot_and_reset;
+          quick "snapshot diff" test_snapshot_diff;
+          quick "snapshot diff of a new metric" test_snapshot_diff_new_metric;
           quick "domain safety" test_domain_safety;
         ] );
       ( "trace",
