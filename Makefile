@@ -1,4 +1,4 @@
-.PHONY: all build test lint check figures bench-quick explain clean
+.PHONY: all build test lint check check-range figures bench-quick explain clean
 
 all: build
 
@@ -15,6 +15,13 @@ lint: build
 # over every built-in preset.
 check:
 	dune build @check-all
+
+# Range certification: certify the bucketed serving band once instead of
+# linting every bucket, then re-validate the emitted certificate with
+# the independent checker.
+check-range:
+	dune exec bin/transfusion_cli.exe -- check --range 512:16384 --model T5 --json cert.json
+	dune exec bin/transfusion_cli.exe -- check --validate cert.json
 
 figures:
 	dune exec bin/transfusion_cli.exe -- figures --quick

@@ -217,6 +217,35 @@ let streaming_attention_bench () =
 let evaluate_bench strategy () =
  fun () -> ignore (Strategies.evaluate ~tileseek_iterations:30 edge workload strategy)
 
+(* One range certification versus the four point lints it subsumes: a
+   serving system bucketing requests at 512-multiples up to 16K either
+   certifies the band once or re-lints every bucket it actually sees.
+   The point path re-derives what a lint of one concrete length needs —
+   greedy tiling, Table 2 feasibility, the DPipe schedule — with no
+   memoisation, matching what the certifier derives symbolically. *)
+let cert_model = Tf_workloads.Presets.t5
+
+let range_certify_bench () =
+ fun () ->
+  ignore
+    (Tf_analysis.Range_cert.certify cloud cert_model
+       { Tf_analysis.Range_cert.lo = 512; hi = 16384; step = 512 })
+
+let point_lints_bench () =
+  let cascade = Transfusion.Cascades.full_layer cert_model.Tf_workloads.Model.activation in
+  let g = Tf_einsum.Cascade.to_dag cascade in
+  fun () ->
+    List.iter
+      (fun seq_len ->
+        let w = Tf_workloads.Workload.v cert_model ~seq_len in
+        let config = Transfusion.Tileseek.greedy ~kv_len:seq_len cloud w in
+        ignore (Tf_analysis.Tiling_lint.verify ~kv_len:seq_len cloud w config);
+        let totals = Array.of_list (Transfusion.Layer_costs.op_totals w cascade) in
+        let load n = totals.(n).Transfusion.Layer_costs.total /. 256. in
+        let matrix n = Tf_einsum.Einsum.is_matrix_op totals.(n).Transfusion.Layer_costs.op in
+        ignore (Transfusion.Dpipe.schedule cloud ~load ~matrix g))
+      [ 512; 2048; 8192; 16384 ]
+
 let tests () =
   [
     Test.make ~name:"dpipe/mha-dag(cloud)" (Staged.stage (mha_dag_bench ()));
@@ -229,6 +258,8 @@ let tests () =
     Test.make ~name:"strategy/evaluate-fusemax" (Staged.stage (evaluate_bench Strategies.Fusemax ()));
     Test.make ~name:"strategy/evaluate-transfusion"
       (Staged.stage (evaluate_bench Strategies.Transfusion ()));
+    Test.make ~name:"cert/range-certify(T5,512:16384)" (Staged.stage (range_certify_bench ()));
+    Test.make ~name:"cert/point-lints-x4(T5)" (Staged.stage (point_lints_bench ()));
   ]
 
 let microbench () =

@@ -467,20 +467,197 @@ let selftest_cmd =
     (Cmd.info "selftest" ~doc:"Run the cross-cutting model invariant battery")
     Term.(const run $ obs_term $ full_arg)
 
+let diagnostic_json (d : Tf_analysis.Diagnostic.t) =
+  let opt_str = function None -> Json.Null | Some s -> Json.Str s in
+  Json.Obj
+    [
+      ("code", Json.Str d.Tf_analysis.Diagnostic.code);
+      ( "severity",
+        Json.Str
+          (match d.Tf_analysis.Diagnostic.severity with
+          | Tf_analysis.Diagnostic.Error -> "error"
+          | Tf_analysis.Diagnostic.Warning -> "warning") );
+      ("context", opt_str d.Tf_analysis.Diagnostic.location.Tf_analysis.Diagnostic.context);
+      ("op", opt_str d.Tf_analysis.Diagnostic.location.Tf_analysis.Diagnostic.op);
+      ( "node",
+        match d.Tf_analysis.Diagnostic.location.Tf_analysis.Diagnostic.node with
+        | None -> Json.Null
+        | Some n -> Json.Int n );
+      ("message", Json.Str d.Tf_analysis.Diagnostic.message);
+    ]
+
 let lint_cmd =
-  let run obs full =
+  let run obs full strict json =
     obs @@ fun () ->
     let diags = Tf_analysis.Verify.check_presets ~quick:(not full) () in
-    Fmt.pr "%a@." Tf_analysis.Diagnostic.pp_list diags;
-    if Tf_analysis.Diagnostic.has_errors diags then exit 1
+    (match json with
+    | Some path ->
+        emit_json ~what:"lint report" path
+          (Json.Obj
+             [
+               ("schema", Json.Str "transfusion.lint/1");
+               ("diagnostics", Json.List (List.map diagnostic_json diags));
+             ])
+    | None -> Fmt.pr "%a@." Tf_analysis.Diagnostic.pp_list diags);
+    if Tf_analysis.Diagnostic.has_errors diags || (strict && diags <> []) then exit 1
   in
   let full_arg =
     Arg.(value & flag & info [ "full" ] ~doc:"Lint every architecture and model preset.")
   in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Exit nonzero on warnings too, not just on errors.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the diagnostics as a transfusion.lint/1 JSON document to $(docv) (\"-\" for \
+             stdout) instead of the human listing.")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Statically verify built-in cascades, tilings and DPipe schedules")
-    Term.(const run $ obs_term $ full_arg)
+    Term.(const run $ obs_term $ full_arg $ strict_arg $ json_arg)
+
+let check_cmd =
+  let module RC = Tf_analysis.Range_cert in
+  let range_conv =
+    let parse s =
+      let ints parts = try Some (List.map int_of_string parts) with Failure _ -> None in
+      match ints (String.split_on_char ':' s) with
+      | Some [ lo; hi ] -> Ok (lo, hi, None)
+      | Some [ lo; hi; step ] -> Ok (lo, hi, Some step)
+      | _ -> Error (`Msg (Printf.sprintf "expected LO:HI or LO:HI:STEP, got %S" s))
+    in
+    let print ppf (lo, hi, step) =
+      match step with
+      | None -> Fmt.pf ppf "%d:%d" lo hi
+      | Some s -> Fmt.pf ppf "%d:%d:%d" lo hi s
+    in
+    Arg.conv (parse, print)
+  in
+  let range_arg =
+    Arg.(
+      value
+      & opt (some range_conv) None
+      & info [ "r"; "range" ] ~docv:"LO:HI[:STEP]"
+          ~doc:
+            "Certify every sequence length on the grid LO, LO+STEP, ..., HI (STEP defaults to \
+             LO: the bucketing grid of a schedule server).")
+  in
+  let models_arg =
+    Arg.(
+      value & opt_all model_conv []
+      & info [ "m"; "model" ] ~docv:"MODEL"
+          ~doc:"Model preset to certify (repeatable; default: T5 and BERT).")
+  in
+  let attention_arg =
+    Arg.(
+      value
+      & opt (enum [ ("self", RC.Self); ("causal", RC.Causal); ("decode", RC.Decode) ]) RC.Self
+      & info [ "attention" ] ~docv:"KIND"
+          ~doc:
+            "Attention flavour: self|causal certify over the sequence length, decode over the \
+             KV-cache length.")
+  in
+  let qlen_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seq" ] ~docv:"LEN" ~doc:"Query length of a decode step (decode attention only).")
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt (enum [ ("fixed", RC.Fixed); ("resident", RC.Resident) ]) RC.Fixed
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Tiling policy across the range: $(b,fixed) freezes one tiling; $(b,resident) keeps \
+             the full key/value sequence on-chip (m1 = n/m0), so occupancy grows with n.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the transfusion.cert/1 certificate to $(docv) (\"-\" for stdout); requires a \
+             single --model.")
+  in
+  let validate_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "validate" ] ~docv:"FILE"
+          ~doc:
+            "Validate an existing certificate with the independent checker instead of \
+             certifying; all other options are ignored.")
+  in
+  let run obs arch models range batch attention qlen policy json validate =
+    obs @@ fun () ->
+    match validate with
+    | Some path ->
+        let text = In_channel.with_open_text path In_channel.input_all in
+        (match Tf_analysis.Cert_check.validate text with
+        | Ok summary -> Fmt.pr "%s: %s@." path summary
+        | Error problems ->
+            List.iter (fun p -> Fmt.epr "%s: %s@." path p) problems;
+            exit 1)
+    | None -> (
+        match range with
+        | None ->
+            Fmt.epr "check: either --range LO:HI[:STEP] or --validate FILE is required@.";
+            exit 2
+        | Some (lo, hi, step) ->
+            let step = Option.value step ~default:lo in
+            let models =
+              if models = [] then [ Tf_workloads.Presets.t5; Tf_workloads.Presets.bert ]
+              else models
+            in
+            if json <> None && List.length models > 1 then begin
+              Fmt.epr "check: --json requires a single --model@.";
+              exit 2
+            end;
+            let refused = ref false in
+            List.iter
+              (fun model ->
+                let cert =
+                  Tf_analysis.Verify.certify_range ~attention ~batch ~seq:qlen ~policy arch
+                    model ~lo ~hi ~step ()
+                in
+                print_string (RC.render cert);
+                List.iter
+                  (fun d -> Fmt.pr "  %s@." (Tf_analysis.Diagnostic.render d))
+                  (Tf_analysis.Diagnostic.warnings (RC.diagnostics cert));
+                if not cert.RC.certified then refused := true;
+                match json with
+                | None -> ()
+                | Some path ->
+                    let doc = RC.to_json_string cert in
+                    (* The certificate is only worth writing if the
+                       independent checker countersigns it. *)
+                    (match Tf_analysis.Cert_check.validate doc with
+                    | Ok _ -> ()
+                    | Error problems ->
+                        List.iter
+                          (fun p -> Fmt.epr "independent checker rejected the certificate: %s@." p)
+                          problems;
+                        exit 2);
+                    emit ~what:"certificate" path doc)
+              models;
+            if !refused then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Certify tilings and the DPipe schedule over a whole range of sequence lengths \
+          (symbolic interval/affine analysis with machine-checkable certificates)")
+    Term.(
+      const run $ obs_term $ arch_arg $ models_arg $ range_arg $ batch_arg $ attention_arg
+      $ qlen_arg $ policy_arg $ json_arg $ validate_arg)
 
 let export_cmd =
   let run obs dir quick =
@@ -623,5 +800,6 @@ let () =
          headline_cmd;
          selftest_cmd;
          lint_cmd;
+         check_cmd;
          export_cmd;
        ]))

@@ -126,3 +126,7 @@ let check_presets ?(quick = true) () =
             @ pipeline ~attention:Strategies.Causal_self arch w)
           models)
       archs
+
+let certify_range ?attention ?batch ?seq ?policy ?tiling arch model ~lo ~hi ?step () =
+  let step = Option.value step ~default:lo in
+  Range_cert.certify ?attention ?batch ?seq ?policy ?tiling arch model { Range_cert.lo; hi; step }

@@ -51,3 +51,22 @@ val check_presets : ?quick:bool -> unit -> Diagnostic.t list
     pipeline in both encoder (self-attention) and decoder (causal)
     flavours.  [quick] (default true) restricts to the cloud and edge
     architectures and the Llama3 model. *)
+
+val certify_range :
+  ?attention:Range_cert.attention ->
+  ?batch:int ->
+  ?seq:int ->
+  ?policy:Range_cert.policy ->
+  ?tiling:Transfusion.Tileseek.config ->
+  Tf_arch.Arch.t ->
+  Tf_workloads.Model.t ->
+  lo:int ->
+  hi:int ->
+  ?step:int ->
+  unit ->
+  Range_cert.t
+(** Certify a whole range of sequence lengths at once
+    ({!Range_cert.certify}); [step] defaults to [lo], so the default grid
+    is the multiples of the low end — the bucketing discipline of a
+    schedule server.  Experiment sweeps call this before exporting
+    figures; the [check] CLI subcommand exposes it directly. *)

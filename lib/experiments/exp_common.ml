@@ -48,6 +48,31 @@ let verify_result arch w (r : Strategies.result) =
     (Tf_analysis.Verify.strategy_result arch w r);
   r
 
+(* Range certification of a sweep band: before a figure sweeps a model
+   across sequence lengths, certify the whole band [lo..hi] (grid of
+   lo-multiples) in one shot instead of trusting the sampled points to
+   speak for the range.  Memoised — every figure over the same band
+   shares one certificate. *)
+let cert_cache : (string * Model.t * int * int, Tf_analysis.Range_cert.t) Tf_parallel.Memo.t =
+  Tf_parallel.Memo.create ~size:32 ~name:"exp_common.range_cert" ()
+
+let certify_seq_band (archs : Tf_arch.Arch.t list) (model : Model.t) ~seqs =
+  match seqs with
+  | [] -> ()
+  | s0 :: _ ->
+      let lo = List.fold_left Stdlib.min s0 seqs and hi = List.fold_left Stdlib.max s0 seqs in
+      List.iter
+        (fun (arch : Tf_arch.Arch.t) ->
+          let key = (Strategies.Private.arch_fingerprint arch, model, lo, hi) in
+          let cert =
+            Tf_parallel.Memo.find_or_compute cert_cache key (fun () ->
+                Tf_analysis.Verify.certify_range arch model ~lo ~hi ~step:lo ())
+          in
+          require_clean
+            (Tf_analysis.Range_cert.name cert)
+            (Tf_analysis.Range_cert.diagnostics cert))
+        archs
+
 let evaluate ?(tileseek_iterations = 200) (arch : Tf_arch.Arch.t) (w : Workload.t) strategy =
   (* The TileSeek budget changes the result, so it must be part of the
      key: evaluations at different budgets may not share cache entries. *)

@@ -84,6 +84,14 @@ val verify_result :
 (** {!require_clean} over {!Tf_analysis.Verify.strategy_result}; returns
     the result unchanged so call sites can wrap evaluations inline. *)
 
+val certify_seq_band : Tf_arch.Arch.t list -> Tf_workloads.Model.t -> seqs:int list -> unit
+(** Range-certify a figure's whole sequence band before it is swept:
+    one {!Tf_analysis.Verify.certify_range} call over [min seqs .. max
+    seqs] (grid of lo-multiples) per architecture, memoised across
+    figures.  A sweep must not export numbers from a band whose fused
+    discipline is not implementable at every bucketed length.
+    @raise Failure when certification refuses the band. *)
+
 val seq_sweep : quick:bool -> (string * int) list
 (** The paper's 1K-1M sweep; [quick] keeps {1K, 16K, 256K} for tests. *)
 

@@ -11,6 +11,7 @@ let scaling ?(quick = false) archs model =
   let workloads =
     List.map (fun (_, seq_len) -> Workload.v model ~seq_len) (Exp_common.seq_sweep ~quick)
   in
+  Exp_common.certify_seq_band archs model ~seqs:(List.map snd (Exp_common.seq_sweep ~quick));
   Exp_common.prime (Exp_common.sweep_points archs workloads);
   List.concat_map
     (fun (arch : Tf_arch.Arch.t) ->

@@ -11,45 +11,102 @@ type dims = {
   p_row : int;
 }
 
-let fi = float_of_int
+module type NUM = sig
+  type t
 
-let qkv { b; d; p; m1; m0; h; e; _ } =
-  (fi b *. fi d *. ((4. *. fi p) +. (3. *. fi m1 *. fi m0)))
-  +. (3. *. fi d *. fi h *. fi e)
-  +. (2. *. fi b *. fi h *. fi p)
+  val of_int : int -> t
+  val add : t -> t -> t
+  val mul : t -> t -> t
+  val max : t -> t -> t
+end
 
-let mha { b; p; m1; m0; h; e; f; p_row; _ } =
-  (fi b *. fi h *. fi e *. (fi p +. (2. *. fi m1 *. fi m0)))
-  +. (fi b *. fi h *. fi p *. (2. +. (2. *. fi f)))
-  +. (4. *. fi m0 *. fi p_row)
-  +. (18. *. fi p_row)
+(* The Table 2 formulas over an arbitrary numeric domain.  The concrete
+   float API below is an instance of this functor, so the symbolic
+   mirror used by the range certifier (Tf_analysis.Range_cert) evaluates
+   the very same expression tree — there is no second copy of the
+   formulas to drift.  Operator nesting deliberately mirrors the
+   original left-associated float expressions so the float instance is
+   bit-identical to the historical implementation. *)
+module Gen (N : NUM) = struct
+  type gdims = {
+    b : N.t;
+    d : N.t;
+    p : N.t;
+    m1 : N.t;
+    m0 : N.t;
+    h : N.t;
+    e : N.t;
+    f : N.t;
+    s : N.t;
+    p_row : N.t;
+  }
 
-let add_layernorm { b; p; h; f; p_row; _ } =
-  (3. *. fi b *. fi h *. fi f *. fi p) +. (4. *. fi h *. fi f *. fi p_row)
+  let ( + ) = N.add
+  let ( * ) = N.mul
+  let i = N.of_int
 
-let ffn { b; p; h; f; s; p_row; _ } =
-  (fi h *. fi f *. ((2. *. fi b *. fi p) +. fi s))
-  +. (fi s *. (fi p +. 2.))
-  +. (2. *. fi s *. fi p_row)
+  let qkv { b; d; p; m1; m0; h; e; _ } =
+    (b * d * ((i 4 * p) + (i 3 * m1 * m0))) + (i 3 * d * h * e) + (i 2 * b * h * p)
 
-let worst dims =
-  List.fold_left Float.max 0. [ qkv dims; mha dims; add_layernorm dims; ffn dims ]
+  let mha { b; p; m1; m0; h; e; f; p_row; _ } =
+    (b * h * e * (p + (i 2 * m1 * m0)))
+    + (b * h * p * (i 2 + (i 2 * f)))
+    + (i 4 * m0 * p_row)
+    + (i 18 * p_row)
 
+  let add_layernorm { b; p; h; f; p_row; _ } = (i 3 * b * h * f * p) + (i 4 * h * f * p_row)
+
+  let ffn { b; p; h; f; s; p_row; _ } =
+    (h * f * ((i 2 * b * p) + s)) + (s * (p + i 2)) + (i 2 * s * p_row)
+
+  let worst dims = List.fold_left N.max (i 0) [ qkv dims; mha dims; add_layernorm dims; ffn dims ]
+
+  (* Decode-step extension of the Table 2 MHA row: the resident K/V per
+     pass is a slice of a DRAM-backed cache rather than a freshly
+     produced tile, so the tile additionally holds one in-flight cache
+     tile of each of K and V (double buffering the stream against the
+     attention loop) plus the newly appended key/value position. *)
+  let kv_cache_tile { b; m0; h; e; f; _ } = b * h * (e + f) * (m0 + i 1)
+
+  let mha_decode dims = mha dims + kv_cache_tile dims
+
+  let worst_decode dims =
+    List.fold_left N.max (i 0) [ qkv dims; mha_decode dims; add_layernorm dims; ffn dims ]
+end
+
+module F = Gen (struct
+  type t = float
+
+  let of_int = float_of_int
+  let add = ( +. )
+  let mul = ( *. )
+  let max = Float.max
+end)
+
+let to_f (d : dims) : F.gdims =
+  let fi = float_of_int in
+  {
+    F.b = fi d.b;
+    d = fi d.d;
+    p = fi d.p;
+    m1 = fi d.m1;
+    m0 = fi d.m0;
+    h = fi d.h;
+    e = fi d.e;
+    f = fi d.f;
+    s = fi d.s;
+    p_row = fi d.p_row;
+  }
+
+let qkv d = F.qkv (to_f d)
+let mha d = F.mha (to_f d)
+let add_layernorm d = F.add_layernorm (to_f d)
+let ffn d = F.ffn (to_f d)
+let worst d = F.worst (to_f d)
 let fits ~buffer_elements dims = worst dims <= float_of_int buffer_elements
-
-(* Decode-step extension of the Table 2 MHA row: the resident K/V per
-   pass is a slice of a DRAM-backed cache rather than a freshly produced
-   tile, so the tile additionally holds one in-flight cache tile of each
-   of K and V (double buffering the stream against the attention loop)
-   plus the newly appended key/value position. *)
-let kv_cache_tile { b; m0; h; e; f; _ } =
-  fi b *. fi h *. (fi e +. fi f) *. (fi m0 +. 1.)
-
-let mha_decode dims = mha dims +. kv_cache_tile dims
-
-let worst_decode dims =
-  List.fold_left Float.max 0. [ qkv dims; mha_decode dims; add_layernorm dims; ffn dims ]
-
+let kv_cache_tile d = F.kv_cache_tile (to_f d)
+let mha_decode d = F.mha_decode (to_f d)
+let worst_decode d = F.worst_decode (to_f d)
 let fits_decode ~buffer_elements dims = worst_decode dims <= float_of_int buffer_elements
 
 let of_workload ?kv_len (w : Tf_workloads.Workload.t) ~b ~d ~p ~m1 ~m0 ~s ~p_row =

@@ -71,3 +71,46 @@ val of_workload :
     or any size is non-positive. *)
 
 val pp : dims Fmt.t
+
+(** {2 Generic formulas}
+
+    The Table 2 formulas abstracted over the numeric domain.  The
+    concrete float API above is [Gen] instantiated at [float], so a
+    symbolic instantiation (e.g. the interval/affine domain of
+    [Tf_analysis.Symexpr] used by the range certifier) evaluates the
+    {e same} expression tree — symbolic and concrete occupancies cannot
+    drift, and evaluating a symbolic result at a concrete point
+    reproduces the float computation bit-for-bit. *)
+
+module type NUM = sig
+  type t
+
+  val of_int : int -> t
+  val add : t -> t -> t
+  val mul : t -> t -> t
+  val max : t -> t -> t
+end
+
+module Gen (N : NUM) : sig
+  type gdims = {
+    b : N.t;
+    d : N.t;
+    p : N.t;
+    m1 : N.t;
+    m0 : N.t;
+    h : N.t;
+    e : N.t;
+    f : N.t;
+    s : N.t;
+    p_row : N.t;
+  }
+
+  val qkv : gdims -> N.t
+  val mha : gdims -> N.t
+  val add_layernorm : gdims -> N.t
+  val ffn : gdims -> N.t
+  val worst : gdims -> N.t
+  val kv_cache_tile : gdims -> N.t
+  val mha_decode : gdims -> N.t
+  val worst_decode : gdims -> N.t
+end

@@ -278,6 +278,67 @@ let check g t =
         if overlap Arch.Pe_1d || overlap Arch.Pe_2d then Error "resource overlap"
         else Ok ()
 
+module type TIME = sig
+  type t
+
+  val zero : t
+  val add : t -> t -> t
+  val max : t -> t -> t
+end
+
+(* Re-derive a schedule's timeline from its structure alone — the
+   instance feed order, each instance's recorded PE array, and the
+   same-epoch dependency edges — over an arbitrary time domain.  With
+   [T = float] and [time = node_latency] this reproduces the recorded
+   start/end cycles bit-for-bit (the DP performs exactly this max/add
+   sequence once the resource choices are fixed); with a symbolic
+   domain it yields the timeline as a function of the sequence length,
+   which is how Tf_analysis.Range_cert certifies a cached schedule
+   structure over a whole seq-len range. *)
+module Replay (T : TIME) = struct
+  type instance = {
+    node : int;
+    epoch : int;
+    resource : Arch.resource;
+    start_t : T.t;
+    end_t : T.t;
+  }
+
+  let replay ~preds ~time (t : t) =
+    let end_of = Hashtbl.create 256 in
+    let t1 = ref T.zero and t2 = ref T.zero in
+    let mk = ref T.zero in
+    let err = ref None in
+    let instances =
+      List.map
+        (fun (a : assignment) ->
+          let dep =
+            List.fold_left
+              (fun acc p ->
+                match Hashtbl.find_opt end_of (p, a.epoch) with
+                | Some v -> T.max acc v
+                | None ->
+                    if !err = None then
+                      err :=
+                        Some
+                          (Printf.sprintf
+                             "predecessor %d of node %d scheduled after it in epoch %d" p a.node
+                             a.epoch);
+                    acc)
+              T.zero (preds a.node)
+          in
+          let timeline = match a.resource with Arch.Pe_1d -> t1 | Arch.Pe_2d -> t2 in
+          let start_t = T.max !timeline dep in
+          let end_t = T.add start_t (time a.node a.resource) in
+          timeline := end_t;
+          Hashtbl.replace end_of (a.node, a.epoch) end_t;
+          mk := T.max !mk end_t;
+          { node = a.node; epoch = a.epoch; resource = a.resource; start_t; end_t })
+        t.assignments
+    in
+    match !err with Some e -> Error e | None -> Ok (instances, !mk)
+end
+
 (* Shrink the incumbent steady interval shared across parallel candidate
    evaluations.  Monotonically decreasing, so any candidate pruned
    against it would also lose against the final best: pruning never

@@ -96,6 +96,45 @@ val check : 'a Tf_dag.Dag.t -> t -> (unit, string) result
 
 val pp : t Fmt.t
 
+(** {2 Generic timeline replay} *)
+
+module type TIME = sig
+  type t
+
+  val zero : t
+  val add : t -> t -> t
+  val max : t -> t -> t
+end
+
+(** Re-derive a schedule's timeline from its {e structure} alone (feed
+    order, per-instance PE array, same-epoch dependency edges) over an
+    arbitrary time domain.  [Replay (Float)] with [time] = the DP's own
+    node latency reproduces the recorded start/end cycles bit-for-bit —
+    pinned by a differential test — while a symbolic domain
+    ([Tf_analysis.Symexpr]) yields start/end as functions of the
+    sequence length, the basis of range certification
+    ([Tf_analysis.Range_cert]). *)
+module Replay (T : TIME) : sig
+  type instance = {
+    node : int;
+    epoch : int;
+    resource : Tf_arch.Arch.resource;
+    start_t : T.t;
+    end_t : T.t;
+  }
+
+  val replay :
+    preds:(int -> int list) ->
+    time:(int -> Tf_arch.Arch.resource -> T.t) ->
+    t ->
+    (instance list * T.t, string) result
+  (** Instances in the recorded feed order plus the makespan.  [preds]
+      must list same-epoch dependencies in the DAG's order
+      ([Tf_dag.Dag.preds]); [time] gives each node's execution time on
+      a resource.  [Error] when an instance precedes one of its
+      same-epoch dependencies — a structurally invalid schedule. *)
+end
+
 (**/**)
 
 (** Testing hooks — not part of the stable API. *)

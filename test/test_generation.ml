@@ -10,7 +10,6 @@ module Decode = Transfusion.Decode
 module Strategies = Transfusion.Strategies
 module Tileseek = Transfusion.Tileseek
 module Energy = Tf_costmodel.Energy
-module Latency = Tf_costmodel.Latency
 
 (* A deliberately tiny transformer so every evaluation is fast. *)
 let tiny =
