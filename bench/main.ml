@@ -184,10 +184,11 @@ let mcts_bench () =
     ignore (Transfusion.Mcts.search ~rng ~iterations:100 problem)
 
 let tileseek_search_bench () =
-  let evaluate config =
-    let phases, _ = Strategies.phases ~tiling:config edge workload Strategies.Transfusion in
-    (Tf_costmodel.Latency.evaluate edge phases).Tf_costmodel.Latency.total_s
-  in
+  (* The cost callback is the production scoring path (the prebuilt
+     evaluation state of Strategies), so this measures what a search
+     actually costs end-to-end — it used to rebuild the full-model phase
+     list per candidate, which buried the search machinery itself. *)
+  let evaluate = Strategies.Private.transfusion_scorer edge workload in
   fun () -> ignore (Transfusion.Tileseek.search ~iterations:100 edge workload ~evaluate ())
 
 let interp_bench () =
@@ -216,6 +217,26 @@ let streaming_attention_bench () =
 
 let evaluate_bench strategy () =
  fun () -> ignore (Strategies.evaluate ~tileseek_iterations:30 edge workload strategy)
+
+(* Fine-grained probes of the TileSeek evaluation hot path: one candidate
+   scored through a prebuilt evaluation state (what each MCTS rollout
+   pays after the per-m0 slice warms up), one full phase construction
+   from a cold state (slice derivation included), and the latency
+   roll-up over a full-model phase list on its own. *)
+let tiling_cost_hot_bench () =
+  let score = Strategies.Private.transfusion_scorer edge workload in
+  let config = Transfusion.Tileseek.greedy edge workload in
+  fun () -> ignore (score config : float)
+
+let transfusion_phase_cold_bench () =
+  let config = Transfusion.Tileseek.greedy edge workload in
+  fun () -> ignore (Strategies.Private.transfusion_phase_cold edge workload config)
+
+let latency_evaluate_bench () =
+  let phases, _ =
+    Strategies.phases ~tileseek_iterations:30 edge workload Strategies.Transfusion
+  in
+  fun () -> ignore (Tf_costmodel.Latency.evaluate edge phases)
 
 (* One range certification versus the four point lints it subsumes: a
    serving system bucketing requests at 512-multiples up to 16K either
@@ -258,6 +279,10 @@ let tests () =
     Test.make ~name:"strategy/evaluate-fusemax" (Staged.stage (evaluate_bench Strategies.Fusemax ()));
     Test.make ~name:"strategy/evaluate-transfusion"
       (Staged.stage (evaluate_bench Strategies.Transfusion ()));
+    Test.make ~name:"strategy/tiling-cost(hot)" (Staged.stage (tiling_cost_hot_bench ()));
+    Test.make ~name:"strategy/transfusion-phase(cold)"
+      (Staged.stage (transfusion_phase_cold_bench ()));
+    Test.make ~name:"costmodel/latency-evaluate" (Staged.stage (latency_evaluate_bench ()));
     Test.make ~name:"cert/range-certify(T5,512:16384)" (Staged.stage (range_certify_bench ()));
     Test.make ~name:"cert/point-lints-x4(T5)" (Staged.stage (point_lints_bench ()));
   ]

@@ -19,22 +19,29 @@ let m_evaluations =
   Tf_obs.Counter.create ~help:"Latency.evaluate calls (full latency-model runs)"
     "costmodel.latency_evaluations_total"
 
+(* The two scalar halves of a phase cost, split out so hot-path callers
+   (Strategies' candidate scorer) can evaluate one side incrementally —
+   compute time is execution-only and memory time is traffic-only, so a
+   move that changes just the traffic re-derives just [memory_seconds].
+   [evaluate] composes the same functions, keeping both paths
+   bit-identical by construction. *)
+let compute_seconds arch (execution : Phase.execution) =
+  Arch.cycles_to_seconds arch execution.makespan_cycles
+
+let memory_seconds (arch : Arch.t) traffic =
+  Arch.bytes_to_seconds arch (Traffic.dram_bytes ~element_bytes:arch.element_bytes traffic)
+
+let phase_result arch (phase : Phase.t) =
+  let compute_s = compute_seconds arch phase.execution in
+  let memory_s = memory_seconds arch phase.traffic in
+  let total_s = Float.max compute_s memory_s in
+  let bound = if compute_s >= memory_s then `Compute else `Memory in
+  { phase; compute_s; memory_s; total_s; bound }
+
 let evaluate arch phases =
   if phases = [] then invalid_arg "Latency.evaluate: no phases";
   Tf_obs.Counter.incr m_evaluations;
-  let results =
-    List.map
-      (fun (phase : Phase.t) ->
-        let compute_s = Arch.cycles_to_seconds arch phase.execution.makespan_cycles in
-        let memory_s =
-          Arch.bytes_to_seconds arch
-            (Traffic.dram_bytes ~element_bytes:arch.element_bytes phase.traffic)
-        in
-        let total_s = Float.max compute_s memory_s in
-        let bound = if compute_s >= memory_s then `Compute else `Memory in
-        { phase; compute_s; memory_s; total_s; bound })
-      phases
-  in
+  let results = List.map (phase_result arch) phases in
   let total_s = List.fold_left (fun acc (r : phase_result) -> acc +. r.total_s) 0. results in
   let total_cycles = total_s *. arch.clock_hz in
   let useful_2d =

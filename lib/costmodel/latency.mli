@@ -25,6 +25,20 @@ type t = {
 val evaluate : Tf_arch.Arch.t -> Phase.t list -> t
 (** @raise Invalid_argument on an empty phase list. *)
 
+val compute_seconds : Tf_arch.Arch.t -> Phase.execution -> float
+(** Compute half of a phase cost: makespan cycles at the arch clock.
+    Depends only on the execution, so search moves that leave the
+    schedule untouched can reuse it. *)
+
+val memory_seconds : Tf_arch.Arch.t -> Traffic.t -> float
+(** Memory half of a phase cost: DRAM bytes at the arch bandwidth.
+    Depends only on the traffic record.  [evaluate] is built on these
+    two, so incremental callers score bit-identically to the full model. *)
+
+val phase_result : Tf_arch.Arch.t -> Phase.t -> phase_result
+(** One phase through the model: max of the two halves plus the
+    boundedness verdict.  [evaluate arch phases] maps this over the list. *)
+
 val per_kind_seconds : t -> (Phase.layer_kind * float) list
 (** Phase time attributed to each per-layer bucket (Figure 11 input):
     phases with [parts] split their time accordingly.  Buckets in a fixed

@@ -33,7 +33,46 @@ let cache_key ~tileseek_iterations (arch : Tf_arch.Arch.t) (w : Workload.t) stra
 let cache : (cache_key, Strategies.result) Tf_parallel.Memo.t =
   Tf_parallel.Memo.create ~size:256 ~name:"exp_common.summary" ()
 
-let reset_cache () = Tf_parallel.Memo.clear cache
+(* Warm-start registry for the search-based strategies: the tiling found
+   at one sweep point seeds the TileSeek search of its neighbours (same
+   arch/model/batch/strategy/budget, nearest sequence length already
+   solved).  Purely an accelerator — [Strategies.evaluate]'s
+   [warm_tiling] is bit-identical to a cold search — so the sweep's
+   results cannot depend on which neighbour the parallel pool happens to
+   finish first. *)
+let warm_tbl : (cache_key, (int * Transfusion.Tileseek.config) list) Hashtbl.t = Hashtbl.create 32
+let warm_mutex = Mutex.create ()
+
+(* The warm family is the cache key with the sequence length erased:
+   points of the same (arch, model, batch, strategy, budget) sweep seed
+   each other across seq lengths. *)
+let warm_key_of (key : cache_key) = { key with key_seq_len = 0 }
+
+let nearest_warm wk ~seq_len =
+  Mutex.protect warm_mutex (fun () ->
+      match Hashtbl.find_opt warm_tbl wk with
+      | None | Some [] -> None
+      | Some entries ->
+          let dist s = abs (s - seq_len) in
+          let best =
+            List.fold_left
+              (fun acc (s, c) ->
+                match acc with
+                | Some (s0, _) when dist s0 <= dist s -> acc
+                | _ -> Some (s, c))
+              None entries
+          in
+          Option.map snd best)
+
+let record_warm wk ~seq_len tiling =
+  Mutex.protect warm_mutex (fun () ->
+      let entries = Option.value ~default:[] (Hashtbl.find_opt warm_tbl wk) in
+      let entries = (seq_len, tiling) :: List.remove_assoc seq_len entries in
+      Hashtbl.replace warm_tbl wk entries)
+
+let reset_cache () =
+  Tf_parallel.Memo.clear cache;
+  Mutex.protect warm_mutex (fun () -> Hashtbl.reset warm_tbl)
 
 let require_clean what diags =
   if Tf_analysis.Diagnostic.has_errors diags then
@@ -78,7 +117,15 @@ let evaluate ?(tileseek_iterations = 200) (arch : Tf_arch.Arch.t) (w : Workload.
      key: evaluations at different budgets may not share cache entries. *)
   let key = cache_key ~tileseek_iterations arch w strategy in
   Tf_parallel.Memo.find_or_compute cache key (fun () ->
-      verify_result arch w (Strategies.evaluate ~tileseek_iterations arch w strategy))
+      let wk = warm_key_of key in
+      let warm_tiling = nearest_warm wk ~seq_len:w.seq_len in
+      let r =
+        verify_result arch w (Strategies.evaluate ~tileseek_iterations ?warm_tiling arch w strategy)
+      in
+      (match r.Strategies.tiling with
+      | Some t -> record_warm wk ~seq_len:w.seq_len t
+      | None -> ());
+      r)
 
 let prime ?tileseek_iterations points =
   Tf_parallel.iter ~chunk:1

@@ -77,6 +77,14 @@ let compare_docs ?(threshold = 1.5) ~baseline current =
 
 let has_regressions r = r.regressions <> []
 
+let strict_failures ~rules r =
+  List.filter
+    (fun (row : row) ->
+      List.exists
+        (fun (prefix, ratio) -> String.starts_with ~prefix row.name && row.ratio > ratio)
+        rules)
+    r.rows
+
 let kind_unit = function Wall_s -> "s" | Ns_per_run -> "ns/run"
 
 let render r =

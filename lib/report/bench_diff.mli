@@ -37,6 +37,13 @@ val compare_docs : ?threshold:float -> baseline:Json_read.t -> Json_read.t -> re
 
 val has_regressions : report -> bool
 
+val strict_failures : rules:(string * float) list -> report -> row list
+(** Matched rows covered by a [(prefix, ratio)] rule whose ratio they
+    exceed — the benchmark families CI fails on even when the global
+    diff runs warn-only (the CLI's repeatable [--fail-on PREFIX=RATIO]).
+    A row matching several rules fails when it exceeds any of them;
+    rules use their own per-family ratio, not [threshold]. *)
+
 val render : report -> string
 (** Human table: every matched row with its ratio, regressions flagged,
     then the unmatched names. *)

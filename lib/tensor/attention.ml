@@ -27,52 +27,66 @@ let streaming_one_pass ?(scale = 1.0) ?(causal = false) ~m0 ~q ~k ~v () =
   if m0 < 1 || m mod m0 <> 0 then
     invalid_arg (Printf.sprintf "Attention.streaming_one_pass: m0=%d must divide M=%d" m0 m);
   let m1 = m / m0 in
+  (* The kernel runs on the flat row-major buffers: every tile/row/column
+     loop below is in the same order and every float expression has the
+     same shape as the Nd.get/set formulation it replaces, so results are
+     bit-identical — only the per-access index-array allocations and the
+     per-tile score tensor are gone (all scratch is preallocated). *)
+  let qd = Nd.data q and kd = Nd.data k and vd = Nd.data v in
   (* Running state across the m1 loop (paper Eq. 14, 20, 22). *)
-  let rm = Nd.create [| p |] Float.neg_infinity in
-  let rd = Nd.create [| p |] 0. in
-  let rnv = Nd.create [| p; f |] 0. in
+  let rm = Array.make p Float.neg_infinity in
+  let rd = Array.make p 0. in
+  let rnv = Array.make (p * f) 0. in
+  let bqk = Array.make (p * m0) 0. in
+  let sln = Array.make m0 0. in
   for tile = 0 to m1 - 1 do
     let base = tile * m0 in
     (* BQK (Eq. 12): scores of this tile, p x m0. *)
-    let bqk =
-      Nd.init [| p; m0 |] (fun idx ->
-          if causal && base + idx.(1) > idx.(0) then Float.neg_infinity
-          else begin
-            let acc = ref 0. in
-            for l = 0 to e - 1 do
-              acc := !acc +. (Nd.get q [| idx.(0); l |] *. Nd.get k [| base + idx.(1); l |])
-            done;
-            scale *. !acc
-          end)
-    in
+    for i = 0 to p - 1 do
+      for j = 0 to m0 - 1 do
+        bqk.((i * m0) + j) <-
+          (if causal && base + j > i then Float.neg_infinity
+           else begin
+             let acc = ref 0. in
+             for l = 0 to e - 1 do
+               acc := !acc +. (qd.((i * e) + l) *. kd.(((base + j) * e) + l))
+             done;
+             scale *. !acc
+           end)
+      done
+    done;
     for i = 0 to p - 1 do
       (* Under causal masking, tiles entirely beyond query i are skipped
          (the streaming dataflow never issues them). *)
       if (not causal) || base <= i then begin
-      (* LM (Eq. 13) and the running-max update (Eq. 14). *)
-      let lm = ref Float.neg_infinity in
-      for j = 0 to m0 - 1 do
-        lm := Float.max !lm (Nd.get bqk [| i; j |])
-      done;
-      let rm_old = Nd.get rm [| i |] in
-      let rm_new = Float.max rm_old !lm in
-      (* SLN and SLD (Eq. 15-16). *)
-      let sld = ref 0. in
-      let sln = Array.init m0 (fun j -> exp (Nd.get bqk [| i; j |] -. rm_new)) in
-      Array.iter (fun x -> sld := !sld +. x) sln;
-      (* PRM correction of past state (Eq. 18-22). *)
-      let prm = if rm_old = Float.neg_infinity then 0. else exp (rm_old -. rm_new) in
-      Nd.set rd [| i |] ((Nd.get rd [| i |] *. prm) +. !sld);
-      for c = 0 to f - 1 do
-        let slnv = ref 0. in
+        (* LM (Eq. 13) and the running-max update (Eq. 14). *)
+        let lm = ref Float.neg_infinity in
         for j = 0 to m0 - 1 do
-          slnv := !slnv +. (sln.(j) *. Nd.get v [| base + j; c |])
+          lm := Float.max !lm bqk.((i * m0) + j)
         done;
-        Nd.set rnv [| i; c |] ((Nd.get rnv [| i; c |] *. prm) +. !slnv)
-      done;
-        Nd.set rm [| i |] rm_new
+        let rm_old = rm.(i) in
+        let rm_new = Float.max rm_old !lm in
+        (* SLN and SLD (Eq. 15-16). *)
+        let sld = ref 0. in
+        for j = 0 to m0 - 1 do
+          sln.(j) <- exp (bqk.((i * m0) + j) -. rm_new)
+        done;
+        for j = 0 to m0 - 1 do
+          sld := !sld +. sln.(j)
+        done;
+        (* PRM correction of past state (Eq. 18-22). *)
+        let prm = if rm_old = Float.neg_infinity then 0. else exp (rm_old -. rm_new) in
+        rd.(i) <- (rd.(i) *. prm) +. !sld;
+        for c = 0 to f - 1 do
+          let slnv = ref 0. in
+          for j = 0 to m0 - 1 do
+            slnv := !slnv +. (sln.(j) *. vd.(((base + j) * f) + c))
+          done;
+          rnv.((i * f) + c) <- (rnv.((i * f) + c) *. prm) +. !slnv
+        done;
+        rm.(i) <- rm_new
       end
     done
   done;
   (* AV (Eq. 23): final normalisation. *)
-  Nd.init [| p; f |] (fun idx -> Nd.get rnv idx /. Nd.get rd [| idx.(0) |])
+  Nd.init [| p; f |] (fun idx -> rnv.((idx.(0) * f) + idx.(1)) /. rd.(idx.(0)))

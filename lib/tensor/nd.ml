@@ -35,6 +35,7 @@ let offset t idx =
   !off
 
 let get t idx = t.data.(offset t idx)
+let data t = t.data
 let set t idx x = t.data.(offset t idx) <- x
 let fill t x = Array.fill t.data 0 (Array.length t.data) x
 let copy t = { t with shape = Array.copy t.shape; data = Array.copy t.data }

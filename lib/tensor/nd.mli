@@ -23,6 +23,13 @@ val numel : t -> int
 val get : t -> int array -> float
 (** @raise Invalid_argument on rank or bounds violation. *)
 
+val data : t -> float array
+(** The underlying row-major buffer — shared, not a copy: writes through
+    it write the tensor.  For hot kernels that index a rank-2 tensor as
+    [row * cols + col] without the per-access index-array allocation and
+    bounds bookkeeping of {!get}; shape discipline is the caller's
+    responsibility. *)
+
 val set : t -> int array -> float -> unit
 
 val fill : t -> float -> unit

@@ -46,6 +46,7 @@ val step :
   ?tiling:Tileseek.config ->
   ?tileseek_iterations:int ->
   ?objective:Strategies.objective ->
+  ?warm_tiling:Tileseek.config ->
   Tf_arch.Arch.t ->
   Tf_workloads.Generation.t ->
   Strategies.t ->
@@ -53,7 +54,9 @@ val step :
   Strategies.result
 (** One decode step of the generation at the given cache length — a
     {!Strategies.evaluate} under [Decode { kv_len }] on the single-token
-    workload.  Exposed for tests and incremental sweeps. *)
+    workload.  [warm_tiling] seeds the TileSeek search without changing
+    its result ({!Strategies.evaluate}).  Exposed for tests and
+    incremental sweeps. *)
 
 val evaluate :
   ?tileseek_iterations:int ->
@@ -63,7 +66,8 @@ val evaluate :
   Strategies.t ->
   metrics
 (** Cost the full generation: prefill, one decode search at the deep
-    endpoint, clamped-tiling evaluations at both endpoints, closed-form
+    endpoint (warm-seeded with the prefill tiling — results unchanged),
+    clamped-tiling evaluations at both endpoints, closed-form
     aggregation.  Instrumented with Tf_obs ([decode.evaluations_total],
     [decode.tokens_total], [decode.searches_saved_total] and a
     [decode.evaluate] trace span). *)

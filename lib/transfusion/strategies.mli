@@ -75,6 +75,7 @@ val phases :
   ?include_ffn:bool ->
   ?layers:int ->
   ?objective:objective ->
+  ?warm_tiling:Tileseek.config ->
   Tf_arch.Arch.t ->
   Tf_workloads.Workload.t ->
   t ->
@@ -84,7 +85,10 @@ val phases :
     [tileseek_iterations] defaults to 200.  [attention], [include_ffn]
     and [layers] select the sublayer flavour for encoder/decoder
     composition (see {!Structures}); the defaults evaluate the standard
-    self-attention encoder stack of the model. *)
+    self-attention encoder stack of the model.  [warm_tiling] seeds the
+    tiling search with a neighbouring point's solution
+    ({!Tileseek.search}'s [warm]): purely an accelerator — the returned
+    phases and tiling are bit-identical with or without it. *)
 
 val evaluate :
   ?tiling:Tileseek.config ->
@@ -93,6 +97,7 @@ val evaluate :
   ?include_ffn:bool ->
   ?layers:int ->
   ?objective:objective ->
+  ?warm_tiling:Tileseek.config ->
   Tf_arch.Arch.t ->
   Tf_workloads.Workload.t ->
   t ->
@@ -114,4 +119,37 @@ module Private : sig
   (** The architecture identity used to key the shared DPipe cache.
       Must distinguish any two archs whose parameters differ, even when
       they share a [name] (ablation variants do). *)
+
+  val transfusion_scorer :
+    ?attention:attention ->
+    ?objective:objective ->
+    Tf_arch.Arch.t ->
+    Tf_workloads.Workload.t ->
+    Tileseek.config ->
+    float
+  (** The TileSeek candidate scorer with its evaluation state prebuilt
+      and the projection memo bypassed: each application to a config
+      pays exactly one scalar candidate evaluation (the microbench
+      probe).  Partial application builds the state once. *)
+
+  val transfusion_cost_reference :
+    ?attention:attention ->
+    ?objective:objective ->
+    Tf_arch.Arch.t ->
+    Tf_workloads.Workload.t ->
+    Tileseek.config ->
+    float
+  (** The same cost through the cold path — phase construction, the full
+      latency model and summed traffic.  Bit-identical to
+      {!transfusion_scorer} by construction; tests enforce it. *)
+
+  val transfusion_phase_cold :
+    ?attention:attention ->
+    ?objective:objective ->
+    Tf_arch.Arch.t ->
+    Tf_workloads.Workload.t ->
+    Tileseek.config ->
+    Tf_costmodel.Phase.t
+  (** One TransFusion phase built from a fresh evaluation state (slice
+      derivation included) — the construction-cost microbench probe. *)
 end

@@ -316,6 +316,30 @@ let test_bench_diff_threshold () =
        false
      with Invalid_argument _ -> true)
 
+let test_bench_diff_fail_on_families () =
+  (* --fail-on's library half: per-family prefix rules fire independently
+     of the global threshold (warn-only CI still fails these). *)
+  let baseline =
+    bench_v1 ~figures:[]
+      ~microbench:
+        [ micro "dpipe/mha" 100.; micro "strategy/evaluate" 100.; micro "tensor/interp" 100. ]
+  in
+  let current =
+    bench_v1 ~figures:[]
+      ~microbench:
+        [ micro "dpipe/mha" 130.; micro "strategy/evaluate" 120.; micro "tensor/interp" 300. ]
+  in
+  let r = Bench_diff.compare_docs ~threshold:1.5 ~baseline current in
+  let rules = [ ("dpipe/", 1.25); ("strategy/", 1.25) ] in
+  let failed = Bench_diff.strict_failures ~rules r in
+  Alcotest.(check (list string))
+    "only covered families past their ratio fail" [ "dpipe/mha" ]
+    (List.map (fun (row : Bench_diff.row) -> row.Bench_diff.name) failed);
+  Alcotest.(check (list string)) "no rules, no failures" []
+    (List.map
+       (fun (row : Bench_diff.row) -> row.Bench_diff.name)
+       (Bench_diff.strict_failures ~rules:[] r))
+
 let test_bench_diff_trajectory_schema () =
   let baseline = trajectory ~microbench:[ micro "mcts" 100. ] ~wall:10. in
   let current =
@@ -383,6 +407,7 @@ let () =
         [
           quick "matching, regressions, missing names" test_bench_diff_matching;
           quick "threshold handling" test_bench_diff_threshold;
+          quick "fail-on family rules" test_bench_diff_fail_on_families;
           quick "trajectory schema" test_bench_diff_trajectory_schema;
           quick "unknown schema rejected" test_bench_diff_rejects_unknown_schema;
           quick "reader accepts emitter output" test_json_read_parses_emitter_output;
