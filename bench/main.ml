@@ -309,6 +309,78 @@ let microbench () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Part 3: the serve daemon's request path, in process.
+
+   Drives [Tf_serve.Server.handle_line] directly (no socket, so this
+   measures the scheduling service itself, not loopback I/O): one cold
+   pass over distinct schedule keys that all miss the cache and run the
+   search, then repeated warm rounds over the same keys that are
+   answered from the schedule memo.  The issue's acceptance bar is warm
+   >= 20x cold sustained qps; bench_diff gates [serve/qps-warm] so a
+   regression in the cached answer path fails CI.  Hit/miss counts come
+   from the Tf_obs registry ([memo.serve.schedule.*]), which
+   [Server.create] enables. *)
+
+let serve_bench () =
+  E.Exp_common.print_header "Serve daemon: schedule requests per second (cold vs warm)";
+  (* A truly cold start: earlier figure steps share Exp_common's summary
+     cache, and a stray hit would understate the cold cost. *)
+  E.Exp_common.reset_cache ();
+  let server = Tf_serve.Server.create Tf_serve.Server.default_config in
+  let requests =
+    List.map
+      (fun seq ->
+        Printf.sprintf
+          "{\"op\":\"schedule\",\"model\":\"BERT\",\"seq\":%d,\"batch\":8,\
+           \"strategy\":\"transfusion\",\"iterations\":30}"
+          seq)
+      [ 1024; 2048; 3072; 4096; 5120; 6144 ]
+  in
+  let time_pass reqs =
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun r ->
+        let response = Tf_serve.Server.handle_line server r in
+        (* A failing request would time error formatting, not scheduling. *)
+        if not (String.length response > 0 && response.[0] = '{') then
+          failwith ("serve bench: bad response: " ^ response))
+      reqs;
+    Unix.gettimeofday () -. t0
+  in
+  let count_misses () =
+    Option.value ~default:0
+      (Tf_obs.counter_value (Tf_obs.snapshot ()) "memo.serve.schedule.misses_total")
+  in
+  let n_cold = List.length requests in
+  let cold_s = time_pass requests in
+  (* Every cold key must actually have missed — a silent field-name or
+     defaulting bug would collapse the keys and time the cache instead
+     of the scheduler. *)
+  if count_misses () <> n_cold then
+    failwith
+      (Printf.sprintf "serve bench: cold pass took %d misses for %d distinct keys"
+         (count_misses ()) n_cold);
+  let warm_rounds = if quick then 10 else 50 in
+  let warm_reqs = List.concat (List.init warm_rounds (fun _ -> requests)) in
+  let n_warm = List.length warm_reqs in
+  let warm_s = time_pass warm_reqs in
+  let per_req ns total = ns *. 1e9 /. float_of_int total in
+  let cold_ns = per_req cold_s n_cold and warm_ns = per_req warm_s n_warm in
+  let qps n s = if s > 0. then float_of_int n /. s else Float.nan in
+  Printf.printf "%-50s %16.1f ns/req   (%.1f qps, %d requests)\n" "serve/qps-cold" cold_ns
+    (qps n_cold cold_s) n_cold;
+  Printf.printf "%-50s %16.1f ns/req   (%.1f qps, %d requests)\n" "serve/qps-warm" warm_ns
+    (qps n_warm warm_s) n_warm;
+  let snap = Tf_obs.snapshot () in
+  let count name = Option.value ~default:0 (Tf_obs.counter_value snap name) in
+  let hits = count "memo.serve.schedule.hits_total" in
+  let misses = count "memo.serve.schedule.misses_total" in
+  Printf.printf "warm speedup %.1fx; schedule cache: %d hits, %d misses (hit rate %.3f)\n"
+    (cold_ns /. warm_ns) hits misses
+    (if hits + misses > 0 then float_of_int hits /. float_of_int (hits + misses) else 0.);
+  [ ("serve/qps-cold", cold_ns, None); ("serve/qps-warm", warm_ns, None) ]
+
+(* ------------------------------------------------------------------ *)
 (* JSON emission (hand-rolled: names are ASCII identifiers, values are
    numbers, so no escaping is needed beyond what printf provides)       *)
 
@@ -378,7 +450,7 @@ let write_json path ~steps ~micro =
 
 let () =
   let steps = run_timed (figure_steps () @ ablation_steps ()) in
-  let micro = microbench () in
+  let micro = microbench () @ serve_bench () in
   match json_path with
   | None -> ()
   | Some path ->

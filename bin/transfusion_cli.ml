@@ -7,6 +7,7 @@
      search    run TileSeek and report the chosen tiling
      schedule  show the DPipe schedule of the fused layer
      explain   simulate the TransFusion schedule and report bottlenecks
+     serve     persistent scheduling daemon (NDJSON over a Unix socket)
      figures   regenerate the paper's figures (also see bench/main.exe) *)
 
 open Cmdliner
@@ -147,11 +148,17 @@ let write_sim_trace ?attention ~tiling arch w path =
       with Invalid_argument msg -> Fmt.epr "sim-trace skipped: %s@." msg)
 
 let eval_cmd =
-  let run obs arch model seq batch strategy iterations sim_trace =
+  let run obs arch model seq batch strategy iterations json sim_trace =
     obs @@ fun () ->
     let w = workload model seq batch in
     let r = Strategies.evaluate ~tileseek_iterations:iterations arch w strategy in
-    print_result r;
+    if json <> Some "-" then print_result r;
+    (match json with
+    | Some path ->
+        (* Through the shared builder, so the document is bit-identical
+           to the daemon's [schedule] response for the same point. *)
+        emit_json ~what:"eval JSON" path (Tf_serve.Api.eval_doc ~iterations arch w strategy)
+    | None -> ());
     match sim_trace with
     | None -> ()
     | Some path -> write_sim_trace ~tiling:r.Strategies.tiling arch w path
@@ -162,11 +169,80 @@ let eval_cmd =
       & opt strategy_conv Strategies.Transfusion
       & info [ "strategy" ] ~docv:"STRATEGY" ~doc:"Scheduler to evaluate.")
   in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the result as a transfusion.eval/1 JSON document to $(docv) (\"-\" for \
+             stdout, suppressing the human summary).")
+  in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate one scheduling strategy on one workload")
     Term.(
       const run $ obs_term $ arch_arg $ model_arg $ seq_arg $ batch_arg $ strategy_arg
-      $ iterations_arg $ sim_trace_arg)
+      $ iterations_arg $ json_arg $ sim_trace_arg)
+
+let serve_cmd =
+  let run obs socket tcp cache_dir cache_entries grid =
+    obs @@ fun () ->
+    let config =
+      {
+        Tf_serve.Server.socket_path = socket;
+        tcp_port = tcp;
+        cache_dir;
+        cache_entries;
+        grid;
+      }
+    in
+    let server = Tf_serve.Server.create config in
+    (match socket with Some p -> Fmt.epr "listening on %s@." p | None -> ());
+    (match tcp with Some p -> Fmt.epr "listening on 127.0.0.1:%d@." p | None -> ());
+    Tf_serve.Server.serve server;
+    Fmt.epr "server stopped@."
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) (Some "transfusion.sock")
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain listening socket path.")
+  in
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT" ~doc:"Also listen on loopback TCP port $(docv).")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist computed schedules to $(docv) (one JSON file per key); they are reused \
+             across restarts.")
+  in
+  let cache_entries_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "cache-entries" ] ~docv:"N" ~doc:"In-memory cache bound (LRU eviction).")
+  in
+  let grid_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "grid" ] ~docv:"N"
+          ~doc:
+            "Sequence-length bucket width: off-grid schedule queries answer from the nearest \
+             bucket with interpolated costs.  0 disables bucketing.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent scheduling daemon (newline-delimited JSON over a Unix socket; see \
+          README for the wire protocol)")
+    Term.(
+      const run $ obs_term $ socket_arg $ tcp_arg $ cache_dir_arg $ cache_entries_arg $ grid_arg)
 
 let sweep_cmd =
   let run obs arch model quick =
@@ -792,6 +868,7 @@ let () =
          schedule_cmd;
          explain_cmd;
          decode_cmd;
+         serve_cmd;
          figures_cmd;
          ablations_cmd;
          structures_cmd;

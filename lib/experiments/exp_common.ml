@@ -28,10 +28,49 @@ let cache_key ~tileseek_iterations (arch : Tf_arch.Arch.t) (w : Workload.t) stra
     key_budget = tileseek_iterations;
   }
 
+(* Persistence codec for the structured key: a canonical JSON rendering
+   (for humans and store inspection) and a stable fingerprint derived
+   from it (for filenames and lookup).  Every field of the key — and
+   every field of the model record inside it — participates, so two keys
+   fingerprint equal iff they compare structurally equal. *)
+module Key = struct
+  let activation_name = function
+    | Tf_einsum.Scalar_op.Relu -> "relu"
+    | Tf_einsum.Scalar_op.Gelu -> "gelu"
+    | Tf_einsum.Scalar_op.Silu -> "silu"
+    | Tf_einsum.Scalar_op.Sigmoid -> "sigmoid"
+
+  let to_json (k : cache_key) =
+    let m = k.key_model in
+    Export.Json.Obj
+      [
+        ("arch", Export.Json.Str k.key_arch);
+        ( "model",
+          Export.Json.Obj
+            [
+              ("name", Export.Json.Str m.Model.name);
+              ("d_model", Export.Json.Int m.Model.d_model);
+              ("heads", Export.Json.Int m.Model.heads);
+              ("head_dim", Export.Json.Int m.Model.head_dim);
+              ("ffn_hidden", Export.Json.Int m.Model.ffn_hidden);
+              ("layers", Export.Json.Int m.Model.layers);
+              ("activation", Export.Json.Str (activation_name m.Model.activation));
+            ] );
+        ("seq_len", Export.Json.Int k.key_seq_len);
+        ("batch", Export.Json.Int k.key_batch);
+        ("strategy", Export.Json.Str (Strategies.name k.key_strategy));
+        ("budget", Export.Json.Int k.key_budget);
+      ]
+
+  let fingerprint k = Digest.to_hex (Digest.string (Export.Json.to_string (to_json k)))
+end
+
 (* Shared across the domain pool by the parallel figure sweeps, hence
-   the mutexed table. *)
+   the mutexed table.  Bounded so a persistent server sweeping a flood
+   of distinct keys cannot grow it without limit — an evicted summary
+   merely recomputes on its next request. *)
 let cache : (cache_key, Strategies.result) Tf_parallel.Memo.t =
-  Tf_parallel.Memo.create ~size:256 ~name:"exp_common.summary" ()
+  Tf_parallel.Memo.create ~size:256 ~name:"exp_common.summary" ~max_entries:4096 ()
 
 (* Warm-start registry for the search-based strategies: the tiling found
    at one sweep point seeds the TileSeek search of its neighbours (same
@@ -39,9 +78,15 @@ let cache : (cache_key, Strategies.result) Tf_parallel.Memo.t =
    solved).  Purely an accelerator — [Strategies.evaluate]'s
    [warm_tiling] is bit-identical to a cold search — so the sweep's
    results cannot depend on which neighbour the parallel pool happens to
-   finish first. *)
-let warm_tbl : (cache_key, (int * Transfusion.Tileseek.config) list) Hashtbl.t = Hashtbl.create 32
-let warm_mutex = Mutex.create ()
+   finish first, nor on registry churn.  Both dimensions are bounded
+   (families by LRU eviction, sequence points within a family by a
+   fixed cap): an unbounded warm table was a memory leak in a daemon
+   serving arbitrary key floods. *)
+let warm_capacity = 128
+let warm_family_points = 32
+
+let warm_tbl : (cache_key, (int * Transfusion.Tileseek.config) list) Tf_parallel.Bounded.t =
+  Tf_parallel.Bounded.create ~capacity:warm_capacity ~name:"exp_common.warm" ()
 
 (* The warm family is the cache key with the sequence length erased:
    points of the same (arch, model, batch, strategy, budget) sweep seed
@@ -49,30 +94,33 @@ let warm_mutex = Mutex.create ()
 let warm_key_of (key : cache_key) = { key with key_seq_len = 0 }
 
 let nearest_warm wk ~seq_len =
-  Mutex.protect warm_mutex (fun () ->
-      match Hashtbl.find_opt warm_tbl wk with
-      | None | Some [] -> None
-      | Some entries ->
-          let dist s = abs (s - seq_len) in
-          let best =
-            List.fold_left
-              (fun acc (s, c) ->
-                match acc with
-                | Some (s0, _) when dist s0 <= dist s -> acc
-                | _ -> Some (s, c))
-              None entries
-          in
-          Option.map snd best)
+  match Tf_parallel.Bounded.find_opt warm_tbl wk with
+  | None | Some [] -> None
+  | Some entries ->
+      let dist s = abs (s - seq_len) in
+      let best =
+        List.fold_left
+          (fun acc (s, c) ->
+            match acc with
+            | Some (s0, _) when dist s0 <= dist s -> acc
+            | _ -> Some (s, c))
+          None entries
+      in
+      Option.map snd best
 
 let record_warm wk ~seq_len tiling =
-  Mutex.protect warm_mutex (fun () ->
-      let entries = Option.value ~default:[] (Hashtbl.find_opt warm_tbl wk) in
+  Tf_parallel.Bounded.update warm_tbl wk (fun prev ->
+      let entries = Option.value ~default:[] prev in
       let entries = (seq_len, tiling) :: List.remove_assoc seq_len entries in
-      Hashtbl.replace warm_tbl wk entries)
+      (* Most-recent first; the cap drops the stalest sequence points. *)
+      List.filteri (fun i _ -> i < warm_family_points) entries)
+
+let warm_stats () = Tf_parallel.Bounded.stats warm_tbl
 
 let reset_cache () =
   Tf_parallel.Memo.clear cache;
-  Mutex.protect warm_mutex (fun () -> Hashtbl.reset warm_tbl)
+  Tf_parallel.Bounded.clear warm_tbl;
+  Strategies.reset_registries ()
 
 let require_clean what diags =
   if Tf_analysis.Diagnostic.has_errors diags then

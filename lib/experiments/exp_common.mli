@@ -26,6 +26,19 @@ val cache_key :
   cache_key
 (** The key {!evaluate} memoises under (exposed for tests). *)
 
+(** Persistence codec for {!cache_key} — how a disk-backed schedule
+    store names and describes its entries. *)
+module Key : sig
+  val to_json : cache_key -> Export.Json.t
+  (** Canonical JSON rendering: every field of the key, with the model
+      expanded to its full record (name alone does not identify a
+      model — ablation variants share names). *)
+
+  val fingerprint : cache_key -> string
+  (** Stable hex digest of {!to_json} — filename-safe, equal iff the
+      keys are structurally equal. *)
+end
+
 val evaluate :
   ?tileseek_iterations:int ->
   Tf_arch.Arch.t ->
@@ -45,7 +58,13 @@ val evaluate :
     artifact. *)
 
 val reset_cache : unit -> unit
-(** Drop every memoised evaluation (tests and determinism harnesses). *)
+(** Drop every memoised evaluation, the warm-tiling registry and the
+    strategy-layer registries ({!Transfusion.Strategies.reset_registries})
+    — tests, determinism harnesses and daemon cache hygiene. *)
+
+val warm_stats : unit -> Tf_parallel.Bounded.stats
+(** Population/eviction counters of the warm-tiling registry — tests
+    assert its capacity bound holds under churn. *)
 
 val prime :
   ?tileseek_iterations:int ->

@@ -107,6 +107,48 @@ module Json = struct
     Buffer.add_char buffer '\n';
     Buffer.contents buffer
 
+  (* Single-line rendering for wire protocols: same escaping and number
+     formatting as [to_string], no whitespace, no trailing newline.  A
+     newline-delimited-JSON server frames messages by '\n', so the
+     payload itself must never contain one (escaped newlines inside
+     strings are fine — [escape] turns them into "\n" the two-character
+     sequence). *)
+  let to_line t =
+    let buffer = Buffer.create 256 in
+    let rec emit = function
+      | Null -> Buffer.add_string buffer "null"
+      | Bool b -> Buffer.add_string buffer (string_of_bool b)
+      | Int i -> Buffer.add_string buffer (string_of_int i)
+      | Num f ->
+          if Float.is_nan f || Float.abs f = Float.infinity then Buffer.add_string buffer "null"
+          else Buffer.add_string buffer (number f)
+      | Str s ->
+          Buffer.add_char buffer '"';
+          Buffer.add_string buffer (escape s);
+          Buffer.add_char buffer '"'
+      | List items ->
+          Buffer.add_char buffer '[';
+          List.iteri
+            (fun i item ->
+              if i > 0 then Buffer.add_char buffer ',';
+              emit item)
+            items;
+          Buffer.add_char buffer ']'
+      | Obj fields ->
+          Buffer.add_char buffer '{';
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then Buffer.add_char buffer ',';
+              Buffer.add_char buffer '"';
+              Buffer.add_string buffer (escape k);
+              Buffer.add_string buffer "\":";
+              emit v)
+            fields;
+          Buffer.add_char buffer '}'
+    in
+    emit t;
+    Buffer.contents buffer
+
   let write ~path t = write_file ~path (to_string t)
 end
 

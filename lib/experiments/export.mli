@@ -27,6 +27,12 @@ module Json : sig
   val to_string : ?indent:int -> t -> string
   (** Pretty-printed document with a trailing newline. *)
 
+  val to_line : t -> string
+  (** Compact single-line rendering — same escaping and float format as
+      {!to_string}, no whitespace, no trailing newline.  The framing
+      unit of the newline-delimited wire protocol: the output never
+      contains a raw ['\n']. *)
+
   val write : path:string -> t -> unit
   (** {!to_string} through {!write_file}. *)
 end

@@ -291,19 +291,27 @@ let map_reduce ?jobs ?chunk ~map:f ~reduce init arr =
   Array.fold_left reduce init (map ?jobs ?chunk f arr)
 
 module Memo = struct
-  type 'v entry = Ready of 'v | Running
+  type 'v entry = Ready of { v : 'v; mutable used : int } | Running
 
   type ('k, 'v) t = {
     mutex : Mutex.t;
     settled : Condition.t;  (* signalled when a Running entry resolves *)
     tbl : ('k, 'v entry) Hashtbl.t;
+    max_entries : int option;  (* bound on Ready entries; Running never counts *)
+    mutable tick : int;  (* logical clock stamping each Ready touch *)
+    mutable ready : int;  (* current Ready population *)
+    mutable evicted : int;
     hits : Tf_obs.Counter.t option;
     misses : Tf_obs.Counter.t option;
+    evictions : Tf_obs.Counter.t option;
   }
 
   (* Tables created with [~name] publish [memo.<name>.hits_total] /
      [memo.<name>.misses_total] in the Tf_obs registry. *)
-  let create ?(size = 64) ?name () =
+  let create ?(size = 64) ?name ?max_entries () =
+    (match max_entries with
+    | Some n when n < 1 -> invalid_arg "Tf_parallel.Memo.create: max_entries must be >= 1"
+    | _ -> ());
     let counter suffix help =
       Option.map (fun n -> Tf_obs.Counter.create ~help (Printf.sprintf "memo.%s.%s" n suffix)) name
     in
@@ -311,16 +319,62 @@ module Memo = struct
       mutex = Mutex.create ();
       settled = Condition.create ();
       tbl = Hashtbl.create size;
+      max_entries;
+      tick = 0;
+      ready = 0;
+      evicted = 0;
       hits = counter "hits_total" "lookups answered from the table (incl. waited-on in-flight)";
       misses = counter "misses_total" "lookups that ran the thunk";
+      evictions = counter "evictions_total" "entries dropped by the capacity bound";
     }
 
   let bump = function Some c -> Tf_obs.Counter.incr c | None -> ()
 
+  (* Called with [t.mutex] held. *)
+  let touch t = function
+    | Ready r ->
+        t.tick <- t.tick + 1;
+        r.used <- t.tick
+    | Running -> ()
+
+  (* Called with [t.mutex] held, after a [Ready] insertion: drop the
+     least-recently-used [Ready] entries until the bound holds again.
+     [Running] markers are never evicted — dropping one would strand its
+     waiters — and do not count toward the bound.  The scan is O(n), but
+     it only runs once per insertion beyond capacity, and bounded tables
+     are small by construction. *)
+  let enforce_bound t =
+    match t.max_entries with
+    | None -> ()
+    | Some cap ->
+        while t.ready > cap do
+          let victim = ref None in
+          Hashtbl.iter
+            (fun k e ->
+              match e with
+              | Running -> ()
+              | Ready r -> (
+                  match !victim with
+                  | Some (_, used) when used <= r.used -> ()
+                  | _ -> victim := Some (k, r.used)))
+            t.tbl;
+          match !victim with
+          | None -> t.ready <- 0 (* unreachable: ready > cap >= 1 implies a Ready entry *)
+          | Some (k, _) ->
+              Hashtbl.remove t.tbl k;
+              t.ready <- t.ready - 1;
+              t.evicted <- t.evicted + 1;
+              bump t.evictions
+        done
+
   let find_opt t k =
     Mutex.lock t.mutex;
     let r =
-      match Hashtbl.find_opt t.tbl k with Some (Ready v) -> Some v | Some Running | None -> None
+      match Hashtbl.find_opt t.tbl k with
+      | Some (Ready r as e) ->
+          touch t e;
+          Some r.v
+      | Some Running | None -> None
     in
     Mutex.unlock t.mutex;
     r
@@ -336,7 +390,9 @@ module Memo = struct
     Mutex.lock t.mutex;
     let rec claim () =
       match Hashtbl.find_opt t.tbl k with
-      | Some (Ready v) -> Some v
+      | Some (Ready r as e) ->
+          touch t e;
+          Some r.v
       | Some Running ->
           Condition.wait t.settled t.mutex;
           claim ()
@@ -355,7 +411,10 @@ module Memo = struct
         match f () with
         | v ->
             Mutex.lock t.mutex;
-            Hashtbl.replace t.tbl k (Ready v);
+            t.tick <- t.tick + 1;
+            Hashtbl.replace t.tbl k (Ready { v; used = t.tick });
+            t.ready <- t.ready + 1;
+            enforce_bound t;
             Condition.broadcast t.settled;
             Mutex.unlock t.mutex;
             v
@@ -369,9 +428,13 @@ module Memo = struct
 
   let length t =
     Mutex.lock t.mutex;
-    let n =
-      Hashtbl.fold (fun _ e acc -> match e with Ready _ -> acc + 1 | Running -> acc) t.tbl 0
-    in
+    let n = t.ready in
+    Mutex.unlock t.mutex;
+    n
+
+  let evictions t =
+    Mutex.lock t.mutex;
+    let n = t.evicted in
     Mutex.unlock t.mutex;
     n
 
@@ -384,5 +447,124 @@ module Memo = struct
     in
     Hashtbl.reset t.tbl;
     List.iter (fun k -> Hashtbl.add t.tbl k Running) running;
+    t.ready <- 0;
     Mutex.unlock t.mutex
+end
+
+(* A mutex-protected hash table with a hard capacity and LRU-ish
+   eviction — the shape every cross-request {e warm registry} needs in a
+   long-running process.  Unlike {!Memo} there is no in-flight protocol:
+   entries are plain last-write-wins hints whose loss is always safe
+   (the consumer falls back to a cold start). *)
+module Bounded = struct
+  type 'v slot = { v : 'v; mutable used : int }
+
+  type stats = { entries : int; capacity : int; insertions : int; evictions : int }
+
+  type ('k, 'v) t = {
+    mutex : Mutex.t;
+    tbl : ('k, 'v slot) Hashtbl.t;
+    capacity : int;
+    mutable tick : int;
+    mutable insertions : int;
+    mutable evicted : int;
+    evictions_m : Tf_obs.Counter.t option;
+  }
+
+  let create ?(capacity = 256) ?name () =
+    if capacity < 1 then invalid_arg "Tf_parallel.Bounded.create: capacity must be >= 1";
+    {
+      mutex = Mutex.create ();
+      tbl = Hashtbl.create (Int.min capacity 64);
+      capacity;
+      tick = 0;
+      insertions = 0;
+      evicted = 0;
+      evictions_m =
+        Option.map
+          (fun n ->
+            Tf_obs.Counter.create ~help:"warm-registry entries dropped by the capacity bound"
+              (Printf.sprintf "bounded.%s.evictions_total" n))
+          name;
+    }
+
+  let find_opt t k =
+    Mutex.lock t.mutex;
+    let r =
+      match Hashtbl.find_opt t.tbl k with
+      | Some slot ->
+          t.tick <- t.tick + 1;
+          slot.used <- t.tick;
+          Some slot.v
+      | None -> None
+    in
+    Mutex.unlock t.mutex;
+    r
+
+  (* Called with [t.mutex] held: drop the least-recently-touched entries
+     until the capacity holds. *)
+  let evict_over_capacity t =
+    while Hashtbl.length t.tbl > t.capacity do
+      let victim = ref None in
+      Hashtbl.iter
+        (fun k' slot ->
+          match !victim with
+          | Some (_, used) when used <= slot.used -> ()
+          | _ -> victim := Some (k', slot.used))
+        t.tbl;
+      match !victim with
+      | None -> ()
+      | Some (k', _) ->
+          Hashtbl.remove t.tbl k';
+          t.evicted <- t.evicted + 1;
+          (match t.evictions_m with Some c -> Tf_obs.Counter.incr c | None -> ())
+    done
+
+  (* Replaces any previous binding for [k], then evicts down to
+     capacity. *)
+  let put t k v =
+    Mutex.lock t.mutex;
+    t.tick <- t.tick + 1;
+    t.insertions <- t.insertions + 1;
+    Hashtbl.replace t.tbl k { v; used = t.tick };
+    evict_over_capacity t;
+    Mutex.unlock t.mutex
+
+  (* [update t k f] rewrites the binding for [k] through [f] (receiving
+     [None] when absent) under the table lock — read-modify-write for
+     list-valued registries without a lost-update race between two
+     writers. *)
+  let update t k f =
+    Mutex.lock t.mutex;
+    let prev = Option.map (fun s -> s.v) (Hashtbl.find_opt t.tbl k) in
+    let next = f prev in
+    t.tick <- t.tick + 1;
+    t.insertions <- t.insertions + 1;
+    Hashtbl.replace t.tbl k { v = next; used = t.tick };
+    evict_over_capacity t;
+    Mutex.unlock t.mutex
+
+  let length t =
+    Mutex.lock t.mutex;
+    let n = Hashtbl.length t.tbl in
+    Mutex.unlock t.mutex;
+    n
+
+  let clear t =
+    Mutex.lock t.mutex;
+    Hashtbl.reset t.tbl;
+    Mutex.unlock t.mutex
+
+  let stats t =
+    Mutex.lock t.mutex;
+    let s =
+      {
+        entries = Hashtbl.length t.tbl;
+        capacity = t.capacity;
+        insertions = t.insertions;
+        evictions = t.evicted;
+      }
+    in
+    Mutex.unlock t.mutex;
+    s
 end

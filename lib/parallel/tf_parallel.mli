@@ -83,10 +83,19 @@ val map_reduce :
 module Memo : sig
   type ('k, 'v) t
 
-  val create : ?size:int -> ?name:string -> unit -> ('k, 'v) t
+  val create : ?size:int -> ?name:string -> ?max_entries:int -> unit -> ('k, 'v) t
   (** [size] is the initial bucket hint (default 64).  [name], when
       given, publishes [memo.<name>.hits_total] /
-      [memo.<name>.misses_total] counters in the {!Tf_obs} registry. *)
+      [memo.<name>.misses_total] / [memo.<name>.evictions_total]
+      counters in the {!Tf_obs} registry.  [max_entries], when given,
+      bounds the {e settled} population: publishing a value beyond the
+      bound evicts the least-recently-used settled entries until it
+      holds again (in-flight computations never count toward the bound
+      and are never evicted, so the single-flight dedup semantics are
+      unchanged — an evicted key simply recomputes on its next lookup).
+      Without it the table grows without bound, which is fine for a
+      one-shot CLI and a leak in a daemon.
+      @raise Invalid_argument when [max_entries < 1]. *)
 
   val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
   (** [find_or_compute t k f] returns the cached value for [k],
@@ -96,6 +105,49 @@ module Memo : sig
       cached; any waiters then retry the computation themselves. *)
 
   val find_opt : ('k, 'v) t -> 'k -> 'v option
+
+  val length : ('k, 'v) t -> int
+  (** Settled entries (in-flight computations excluded). *)
+
+  val evictions : ('k, 'v) t -> int
+  (** Entries dropped by the [max_entries] bound since creation. *)
+
+  val clear : ('k, 'v) t -> unit
+end
+
+(** A mutex-protected registry with a hard capacity and LRU-ish
+    eviction — for cross-request {e warm hints} in long-running
+    processes.  No in-flight protocol: entries are last-write-wins
+    accelerator state whose loss is always safe (consumers fall back to
+    a cold start), so unlike {!Memo} an entry can vanish between a [put]
+    and the next [find_opt]. *)
+module Bounded : sig
+  type ('k, 'v) t
+
+  type stats = {
+    entries : int;  (** current population *)
+    capacity : int;
+    insertions : int;  (** [put]/[update] calls since creation *)
+    evictions : int;  (** entries dropped by the capacity bound *)
+  }
+
+  val create : ?capacity:int -> ?name:string -> unit -> ('k, 'v) t
+  (** [capacity] defaults to 256.  [name] publishes
+      [bounded.<name>.evictions_total] in the {!Tf_obs} registry.
+      @raise Invalid_argument when [capacity < 1]. *)
+
+  val find_opt : ('k, 'v) t -> 'k -> 'v option
+  (** Touches the entry (it becomes most-recently-used). *)
+
+  val put : ('k, 'v) t -> 'k -> 'v -> unit
+  (** Insert or replace, then evict least-recently-touched entries until
+      the population is within capacity. *)
+
+  val update : ('k, 'v) t -> 'k -> ('v option -> 'v) -> unit
+  (** Read-modify-write under the table lock (no lost updates between
+      concurrent writers of the same key), then evict as {!put}. *)
+
   val length : ('k, 'v) t -> int
   val clear : ('k, 'v) t -> unit
+  val stats : ('k, 'v) t -> stats
 end

@@ -8,7 +8,22 @@ type t =
 
 exception Bad_json of string
 
-let parse (s : string) : t =
+(* Wire-safety limits (a daemon parses attacker-adjacent bytes):
+   [max_bytes] rejects over-long inputs before any work happens, and
+   [max_depth] bounds container nesting so a line of a million '['s
+   raises [Bad_json] instead of [Stack_overflow] — the recursive-descent
+   parser's stack frame count is proportional to nesting depth, and an
+   uncaught [Stack_overflow] in a server thread would kill the
+   process.  The defaults are far above anything the repo's own schemas
+   produce. *)
+let default_max_depth = 512
+
+let parse ?max_bytes ?(max_depth = default_max_depth) (s : string) : t =
+  (match max_bytes with
+  | Some limit when String.length s > limit ->
+      raise
+        (Bad_json (Printf.sprintf "input too large (%d bytes, limit %d)" (String.length s) limit))
+  | _ -> ());
   let n = String.length s in
   let pos = ref 0 in
   let peek () = if !pos < n then Some s.[!pos] else None in
@@ -102,7 +117,8 @@ let parse (s : string) : t =
       value)
     else fail (Printf.sprintf "expected %s" word)
   in
-  let rec parse_value () =
+  let rec parse_value depth =
+    if depth > max_depth then fail "nesting too deep";
     skip_ws ();
     match peek () with
     | Some '"' -> Str (parse_string ())
@@ -118,7 +134,7 @@ let parse (s : string) : t =
             let k = parse_string () in
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -138,7 +154,7 @@ let parse (s : string) : t =
           List [])
         else
           let rec elements acc =
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -155,7 +171,7 @@ let parse (s : string) : t =
     | Some 'n' -> literal "null" Null
     | _ -> Num (parse_number ())
   in
-  let v = parse_value () in
+  let v = parse_value 0 in
   skip_ws ();
   if !pos <> n then fail "trailing garbage";
   v

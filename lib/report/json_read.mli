@@ -16,8 +16,14 @@ exception Bad_json of string
 (** Raised by {!parse} on malformed input and by the strict accessors on
     shape mismatches, with an offset or field message. *)
 
-val parse : string -> t
-(** @raise Bad_json on malformed input (including trailing garbage). *)
+val parse : ?max_bytes:int -> ?max_depth:int -> string -> t
+(** @raise Bad_json on malformed input — including trailing garbage
+    after the top-level value, inputs longer than [max_bytes] (no limit
+    by default), and container nesting deeper than [max_depth] (default
+    512).  The nesting bound is what makes the parser safe on hostile
+    wire input: without it a line of a million brackets overflows the
+    parser's own stack, and [Stack_overflow] is not an error a server
+    loop can treat as data. *)
 
 val parse_file : string -> t
 (** {!parse} the whole contents of a file.

@@ -1,0 +1,129 @@
+module Json = Tf_experiments.Export.Json
+module R = Tf_report.Json_read
+
+let schema = "transfusion.serve/1"
+
+(* One framed request must fit a line; a megabyte of JSON is three
+   orders of magnitude above any legitimate query, so reject early
+   (also enforced byte-by-byte by the connection reader, which refuses
+   to buffer more than this before seeing a newline). *)
+let max_request_bytes = 1 lsl 20
+
+exception Bad_request of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bad_request s)) fmt
+
+type request = { id : Json.t; op : string; body : R.t }
+
+(* The id is echoed back verbatim so clients can pipeline requests over
+   one connection; only scalars are accepted (an object id has no
+   canonical rendering worth promising). *)
+let id_of body =
+  match R.find "id" body with
+  | None | Some R.Null -> Json.Null
+  | Some (R.Bool b) -> Json.Bool b
+  | Some (R.Num f) ->
+      if Float.is_integer f && Float.abs f < 1e15 then Json.Int (int_of_float f) else Json.Num f
+  | Some (R.Str s) -> Json.Str s
+  | Some (R.List _ | R.Obj _) -> fail "id must be a scalar"
+
+let parse_request line =
+  let body =
+    try R.parse ~max_bytes:max_request_bytes line
+    with R.Bad_json msg -> fail "malformed request: %s" msg
+  in
+  (match body with R.Obj _ -> () | _ -> fail "request must be a JSON object");
+  let op =
+    match R.find "op" body with
+    | Some (R.Str op) -> op
+    | Some _ -> fail "op must be a string"
+    | None -> fail "missing field \"op\""
+  in
+  { id = id_of body; op; body }
+
+(* Typed field accessors: absent fields take the endpoint's default
+   (matching the CLI flag defaults), present fields must have the right
+   shape — a misspelled value is a client error, not a silent zero. *)
+
+let int_field body key ~default =
+  match R.find key body with
+  | None | Some R.Null -> default
+  | Some (R.Num f) when Float.is_integer f -> int_of_float f
+  | Some _ -> fail "field %S must be an integer" key
+
+let bool_field body key ~default =
+  match R.find key body with
+  | None | Some R.Null -> default
+  | Some (R.Bool b) -> b
+  | Some _ -> fail "field %S must be a boolean" key
+
+let str_field body key ~default =
+  match R.find key body with
+  | None | Some R.Null -> default
+  | Some (R.Str s) -> s
+  | Some _ -> fail "field %S must be a string" key
+
+let str_list_field body key =
+  match R.find key body with
+  | None | Some R.Null -> []
+  | Some (R.List items) ->
+      List.map (function R.Str s -> s | _ -> fail "field %S must list strings" key) items
+  | Some (R.Str s) -> [ s ]
+  | Some _ -> fail "field %S must be a list of strings" key
+
+let arch_field body =
+  let name = str_field body "arch" ~default:"cloud" in
+  match Tf_arch.Presets.by_name name with
+  | Some a -> a
+  | None -> fail "unknown architecture %S (cloud|edge|edge_32|edge_64)" name
+
+let model_of name =
+  match Tf_workloads.Presets.by_name name with
+  | Some m -> m
+  | None -> fail "unknown model %S (BERT|TrXL|T5|XLM|Llama3)" name
+
+let model_field body = model_of (str_field body "model" ~default:"Llama3")
+
+let strategy_of name =
+  match Transfusion.Strategies.of_name name with
+  | Some s -> s
+  | None ->
+      fail "unknown strategy %S (%s)" name
+        (String.concat "|" (List.map Transfusion.Strategies.name Transfusion.Strategies.all))
+
+let strategy_field body ~default =
+  strategy_of (str_field body "strategy" ~default:(Transfusion.Strategies.name default))
+
+(* Response framing.  The payload is spliced in verbatim — it is already
+   a rendered line from the shared {!Api} builders (or the cache), and
+   re-parsing it would forfeit the byte-identity the differential test
+   pins.  [result] is the last field so tests can peel the payload back
+   out of the response with plain string surgery. *)
+
+let header ~ok ~id ~op =
+  let fields =
+    [ ("schema", Json.Str schema); ("ok", Json.Bool ok) ]
+    @ (match op with None -> [] | Some op -> [ ("op", Json.Str op) ])
+    @ match id with Json.Null -> [] | id -> [ ("id", id) ]
+  in
+  let line = Json.to_line (Json.Obj fields) in
+  (* Drop the closing brace to append the result field. *)
+  String.sub line 0 (String.length line - 1)
+
+let ok_line ?(id = Json.Null) ~op payload =
+  Printf.sprintf "%s,\"result\":%s}" (header ~ok:true ~id ~op:(Some op)) payload
+
+let error_line ?(id = Json.Null) ?op msg =
+  Printf.sprintf "%s,\"error\":%s}" (header ~ok:false ~id ~op) (Json.to_line (Json.Str msg))
+
+let result_of_line line =
+  let marker = ",\"result\":" in
+  let mlen = String.length marker in
+  let rec find i =
+    if i + mlen > String.length line then None
+    else if String.sub line i mlen = marker then Some (i + mlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some start -> Some (String.sub line start (String.length line - start - 1))
+  | None -> None

@@ -1,0 +1,373 @@
+module Json = Tf_experiments.Export.Json
+module Strategies = Transfusion.Strategies
+module Exp_common = Tf_experiments.Exp_common
+
+type config = {
+  socket_path : string option;
+  tcp_port : int option;
+  cache_dir : string option;
+  cache_entries : int;
+  grid : int;
+}
+
+let default_config =
+  { socket_path = None; tcp_port = None; cache_dir = None; cache_entries = 1024; grid = 0 }
+
+(* Per-endpoint instrumentation.  The op set is closed — an
+   attacker-chosen op name must not mint registry entries (the registry
+   is process-global and never evicts, so that would be exactly the
+   unbounded-growth bug class this server is hardened against). *)
+let ops = [ "ping"; "schedule"; "decode"; "explain"; "metrics"; "shutdown" ]
+
+type op_metrics = { requests : Tf_obs.Counter.t; failures : Tf_obs.Counter.t; latency : Tf_obs.Histogram.t }
+
+type t = {
+  config : config;
+  cache : Cache.t;
+  cert_memo : (string, bool) Tf_parallel.Memo.t;
+  mutable stopping : bool;
+  connections : Tf_obs.Gauge.t;
+  bad_requests : Tf_obs.Counter.t;
+  per_op : (string * op_metrics) list;
+}
+
+let create config =
+  (* The metrics endpoint is part of the protocol, so the registry is
+     always live in a server process. *)
+  Tf_obs.set_enabled true;
+  {
+    config;
+    cache = Cache.create ~max_entries:config.cache_entries ?dir:config.cache_dir ();
+    cert_memo = Tf_parallel.Memo.create ~size:16 ~name:"serve.band_cert" ~max_entries:256 ();
+    stopping = false;
+    connections =
+      Tf_obs.Gauge.create ~help:"currently open client connections" "serve.connections_active";
+    bad_requests =
+      Tf_obs.Counter.create ~help:"lines rejected before reaching an endpoint"
+        "serve.bad_requests_total";
+    per_op =
+      List.map
+        (fun op ->
+          ( op,
+            {
+              requests =
+                Tf_obs.Counter.create ~help:"requests handled"
+                  (Printf.sprintf "serve.%s.requests_total" op);
+              failures =
+                Tf_obs.Counter.create ~help:"requests answered with ok:false"
+                  (Printf.sprintf "serve.%s.failures_total" op);
+              latency =
+                Tf_obs.Histogram.create ~help:"request handling latency (s)"
+                  (Printf.sprintf "serve.%s.latency_seconds" op);
+            } ))
+        ops;
+  }
+
+let stop t = t.stopping <- true
+
+(* --- endpoints ------------------------------------------------------- *)
+
+let require_positive what v = if v < 1 then Protocol.fail "%s must be >= 1 (got %d)" what v
+
+(* Whether the affine cost model is certified over the bucket band
+   [lo..hi] — the {!Tf_analysis.Range_cert} grid {lo, hi}.  Memoised per
+   (arch, model, batch, band); a refusal (or a certifier exception) is
+   an honest [false] in the response, never a request failure. *)
+let band_certified t arch (model : Tf_workloads.Model.t) ~batch ~lo ~hi =
+  let key =
+    Cache.fingerprint
+      (Json.Obj
+         [
+           ("arch", Json.Str (Strategies.Private.arch_fingerprint arch));
+           ("model", Json.Str model.Tf_workloads.Model.name);
+           ("batch", Json.Int batch);
+           ("lo", Json.Int lo);
+           ("hi", Json.Int hi);
+         ])
+  in
+  Tf_parallel.Memo.find_or_compute t.cert_memo key (fun () ->
+      match Tf_analysis.Verify.certify_range ~batch arch model ~lo ~hi ~step:(hi - lo) () with
+      | cert -> cert.Tf_analysis.Range_cert.certified
+      | exception _ -> false)
+
+let schedule_payload t body =
+  let arch = Protocol.arch_field body in
+  let model = Protocol.model_field body in
+  let seq = Protocol.int_field body "seq" ~default:65536 in
+  let batch = Protocol.int_field body "batch" ~default:64 in
+  let strategy = Protocol.strategy_field body ~default:Strategies.Transfusion in
+  let iterations = Protocol.int_field body "iterations" ~default:200 in
+  require_positive "seq" seq;
+  require_positive "batch" batch;
+  require_positive "iterations" iterations;
+  let compute_at seq_len =
+    let w = Tf_workloads.Workload.v ~batch model ~seq_len in
+    let key = Exp_common.cache_key ~tileseek_iterations:iterations arch w strategy in
+    let key_json =
+      Json.Obj [ ("endpoint", Json.Str "schedule"); ("key", Exp_common.Key.to_json key) ]
+    in
+    Cache.find_or_compute t.cache ~key_json (fun () ->
+        Json.to_line (Api.eval_doc ~iterations arch w strategy))
+  in
+  let grid = t.config.grid in
+  if grid <= 0 || seq mod grid = 0 then compute_at seq
+  else begin
+    (* Off-grid length: answer with the nearest bucket's exact schedule
+       and an affine interpolation of the scalar costs between the two
+       bracketing buckets (below the first bucket this extrapolates from
+       the [grid, 2*grid] band). *)
+    let lo = max grid (seq / grid * grid) in
+    let hi = lo + grid in
+    let p_lo = compute_at lo and p_hi = compute_at hi in
+    let lat_lo, en_lo = Api.payload_costs p_lo in
+    let lat_hi, en_hi = Api.payload_costs p_hi in
+    let f = float_of_int (seq - lo) /. float_of_int (hi - lo) in
+    let lerp a b = a +. ((b -. a) *. f) in
+    let bucket_seq, bucket = if hi - seq < seq - lo then (hi, p_hi) else (lo, p_lo) in
+    let interpolation =
+      Json.to_line
+        (Json.Obj
+           [
+             ("seq_len", Json.Int seq);
+             ("lo", Json.Int lo);
+             ("hi", Json.Int hi);
+             ("bucket_seq_len", Json.Int bucket_seq);
+             ("latency_total_s", Json.Num (lerp lat_lo lat_hi));
+             ("energy_total_pj", Json.Num (lerp en_lo en_hi));
+             ("certified", Json.Bool (band_certified t arch model ~batch ~lo ~hi));
+           ])
+    in
+    Printf.sprintf "{\"schema\":\"transfusion.eval-interp/1\",\"bucket\":%s,\"interpolation\":%s}"
+      bucket interpolation
+  end
+
+let explain_payload t body =
+  let arch = Protocol.arch_field body in
+  let model = Protocol.model_field body in
+  let seq = Protocol.int_field body "seq" ~default:65536 in
+  let batch = Protocol.int_field body "batch" ~default:64 in
+  let iterations = Protocol.int_field body "iterations" ~default:200 in
+  let seed = Protocol.int_field body "seed" ~default:42 in
+  let causal = Protocol.bool_field body "causal" ~default:false in
+  require_positive "seq" seq;
+  require_positive "batch" batch;
+  require_positive "iterations" iterations;
+  let key_json =
+    Json.Obj
+      [
+        ("endpoint", Json.Str "explain");
+        ("arch", Json.Str (Strategies.Private.arch_fingerprint arch));
+        ("model", Json.Str model.Tf_workloads.Model.name);
+        ("seq", Json.Int seq);
+        ("batch", Json.Int batch);
+        ("iterations", Json.Int iterations);
+        ("seed", Json.Int seed);
+        ("causal", Json.Bool causal);
+      ]
+  in
+  Cache.find_or_compute t.cache ~key_json (fun () ->
+      let w = Tf_workloads.Workload.v ~batch model ~seq_len:seq in
+      Json.to_line (Api.explain_doc ~iterations ~seed ~causal arch w))
+
+let decode_payload t body =
+  let arch = Protocol.arch_field body in
+  let model_names =
+    match Protocol.str_list_field body "models" @ Protocol.str_list_field body "model" with
+    | [] -> [ "BERT"; "Llama3" ]
+    | names -> names
+  in
+  let models = List.map Protocol.model_of model_names in
+  let strategy_names = Protocol.str_list_field body "strategies" @ Protocol.str_list_field body "strategy" in
+  let strategies = List.map Protocol.strategy_of strategy_names in
+  let gen = Protocol.int_field body "gen" ~default:512 in
+  let batch = Protocol.int_field body "batch" ~default:16 in
+  let iterations = Protocol.int_field body "iterations" ~default:200 in
+  let quick = Protocol.bool_field body "quick" ~default:false in
+  require_positive "gen" gen;
+  require_positive "batch" batch;
+  require_positive "iterations" iterations;
+  let key_json =
+    Json.Obj
+      [
+        ("endpoint", Json.Str "decode");
+        ("arch", Json.Str (Strategies.Private.arch_fingerprint arch));
+        ("models", Json.List (List.map (fun n -> Json.Str n) model_names));
+        ( "strategies",
+          Json.List (List.map (fun s -> Json.Str (Strategies.name s)) strategies) );
+        ("gen", Json.Int gen);
+        ("batch", Json.Int batch);
+        ("iterations", Json.Int iterations);
+        ("quick", Json.Bool quick);
+      ]
+  in
+  Cache.find_or_compute t.cache ~key_json (fun () ->
+      Json.to_line (Api.decode_doc ~quick ~gen ~batch ~strategies ~iterations arch models))
+
+let metrics_payload () =
+  let value_json = function
+    | Tf_obs.Counter_v i -> Json.Int i
+    | Tf_obs.Gauge_v f -> Json.Num f
+    | Tf_obs.Histogram_v { count; sum; buckets } ->
+        Json.Obj
+          [
+            ("count", Json.Int count);
+            ("sum", Json.Num sum);
+            ( "buckets",
+              Json.List
+                (List.map (fun (ub, n) -> Json.List [ Json.Num ub; Json.Int n ]) buckets) );
+          ]
+  in
+  Json.to_line
+    (Json.Obj
+       [
+         ("schema", Json.Str "transfusion.metrics/1");
+         ( "metrics",
+           Json.Obj (List.map (fun (name, v) -> (name, value_json v)) (Tf_obs.snapshot ())) );
+       ])
+
+let route t (req : Protocol.request) =
+  match req.Protocol.op with
+  | "ping" -> Json.to_line (Json.Obj [ ("pong", Json.Bool true) ])
+  | "schedule" -> schedule_payload t req.Protocol.body
+  | "explain" -> explain_payload t req.Protocol.body
+  | "decode" -> decode_payload t req.Protocol.body
+  | "metrics" -> metrics_payload ()
+  | "shutdown" ->
+      stop t;
+      Json.to_line (Json.Obj [ ("stopping", Json.Bool true) ])
+  | op -> Protocol.fail "unknown op %S (%s)" op (String.concat "|" ops)
+
+(* The router the connection loop (and the fuzz test) drives: one line
+   in, one line out, never an exception — a malformed or hostile
+   request must cost its sender an error response, not the daemon its
+   life. *)
+let handle_line t line =
+  match Protocol.parse_request line with
+  | exception Protocol.Bad_request msg ->
+      Tf_obs.Counter.incr t.bad_requests;
+      Protocol.error_line msg
+  | exception e ->
+      Tf_obs.Counter.incr t.bad_requests;
+      Protocol.error_line (Printexc.to_string e)
+  | req -> (
+      let m = List.assoc_opt req.Protocol.op t.per_op in
+      (match m with Some m -> Tf_obs.Counter.incr m.requests | None -> Tf_obs.Counter.incr t.bad_requests);
+      let id = req.Protocol.id in
+      let op = req.Protocol.op in
+      let answer () =
+        match route t req with
+        | payload -> Protocol.ok_line ~id ~op payload
+        | exception e ->
+            (match m with Some m -> Tf_obs.Counter.incr m.failures | None -> ());
+            let msg =
+              match e with
+              | Protocol.Bad_request msg -> msg
+              | Failure msg -> msg
+              | Invalid_argument msg -> msg
+              | Tf_report.Json_read.Bad_json msg -> msg
+              | e -> Printexc.to_string e
+            in
+            Protocol.error_line ~id ~op msg
+      in
+      match m with Some m -> Tf_obs.Histogram.time m.latency answer | None -> answer ())
+
+(* --- connection plumbing --------------------------------------------- *)
+
+(* [input_line] would happily buffer an unbounded newline-free stream;
+   read by character and give up past the protocol limit instead. *)
+let read_line_bounded ic ~limit =
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    match input_char ic with
+    | exception End_of_file -> if Buffer.length buf = 0 then `Eof else `Line (Buffer.contents buf)
+    | '\n' ->
+        let s = Buffer.contents buf in
+        let s =
+          if String.length s > 0 && s.[String.length s - 1] = '\r' then
+            String.sub s 0 (String.length s - 1)
+          else s
+        in
+        `Line s
+    | c ->
+        if Buffer.length buf >= limit then `Too_long
+        else begin
+          Buffer.add_char buf c;
+          loop ()
+        end
+  in
+  loop ()
+
+let handle_connection t fd =
+  Tf_obs.Gauge.add t.connections 1.;
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let respond line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  (try
+     let rec loop () =
+       if not t.stopping then
+         match read_line_bounded ic ~limit:Protocol.max_request_bytes with
+         | `Eof -> ()
+         | `Too_long ->
+             (* The rest of the oversized line is unframed garbage; answer
+                once and drop the connection rather than resynchronise. *)
+             Tf_obs.Counter.incr t.bad_requests;
+             respond
+               (Protocol.error_line
+                  (Printf.sprintf "request exceeds %d bytes" Protocol.max_request_bytes))
+         | `Line "" -> loop ()
+         | `Line line ->
+             respond (handle_line t line);
+             loop ()
+     in
+     loop ()
+   with Sys_error _ | Unix.Unix_error _ | End_of_file ->
+     (* Client went away mid-request/response (EPIPE with SIGPIPE
+        ignored surfaces here); drop the connection quietly. *) ());
+  (try close_out oc with Sys_error _ -> ());
+  (* [ic] shares the (now closed) fd; there is nothing left to close. *)
+  Tf_obs.Gauge.add t.connections (-1.)
+
+let listen_unix path =
+  if Sys.file_exists path then Sys.remove path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 64;
+  sock
+
+let listen_tcp port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock 64;
+  sock
+
+let serve t =
+  (* A client closing mid-write must surface as EPIPE, not kill the
+     process. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let socks =
+    (match t.config.socket_path with Some p -> [ listen_unix p ] | None -> [])
+    @ match t.config.tcp_port with Some p -> [ listen_tcp p ] | None -> []
+  in
+  if socks = [] then invalid_arg "Tf_serve.Server.serve: no socket_path and no tcp_port";
+  while not t.stopping do
+    let readable =
+      match Unix.select socks [] [] 0.2 with
+      | readable, _, _ -> readable
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+    in
+    List.iter
+      (fun sock ->
+        match Unix.accept sock with
+        | fd, _ -> ignore (Thread.create (handle_connection t) fd : Thread.t)
+        | exception Unix.Unix_error _ -> ())
+      readable
+  done;
+  List.iter (fun sock -> try Unix.close sock with Unix.Unix_error _ -> ()) socks;
+  match t.config.socket_path with
+  | Some p -> ( try Sys.remove p with Sys_error _ -> ())
+  | None -> ()

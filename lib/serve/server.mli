@@ -1,0 +1,50 @@
+(** The [transfusion serve] daemon: a persistent scheduling service
+    answering {!Protocol} requests over a Unix-domain (and optionally
+    loopback-TCP) socket, one thread per connection, all computations
+    dispatched through the shared {!Tf_experiments.Exp_common} /
+    {!Tf_parallel} machinery and cached in the two-tier {!Cache}.
+
+    Failure discipline: every exception a request provokes — malformed
+    JSON, unknown presets, verification failures, even bugs — is mapped
+    to an [ok:false] response on that connection; torn connections
+    (EPIPE, resets) are dropped quietly.  The daemon only exits on a
+    [shutdown] request. *)
+
+type config = {
+  socket_path : string option;  (** Unix-domain listening socket *)
+  tcp_port : int option;  (** loopback TCP, when given *)
+  cache_dir : string option;  (** disk tier root; memory-only when absent *)
+  cache_entries : int;  (** memory-tier bound (LRU) *)
+  grid : int;  (** seq-len bucket width; [0] disables bucketing *)
+}
+
+val default_config : config
+(** No sockets, no disk tier, 1024 memory entries, bucketing off —
+    callers fill in the sockets they want. *)
+
+type t
+
+val create : config -> t
+(** Build the server state (cache tiers, per-endpoint metrics) and turn
+    the {!Tf_obs} registry on — the [metrics] endpoint is part of the
+    protocol.  Does not listen yet. *)
+
+val handle_line : t -> string -> string
+(** The request router: one request line in, one response line out.
+    Total — never raises, whatever the input (the fuzz suite drives
+    random mutations through it); does not require a running socket, so
+    tests and the in-process bench exercise the full dispatch/cache
+    path directly.
+
+    Endpoints: [ping], [schedule] (two-tier cached, seq-len bucketing
+    when [grid > 0]), [explain], [decode], [metrics], [shutdown]. *)
+
+val serve : t -> unit
+(** Bind the configured sockets and run the accept loop (one thread per
+    connection) until a [shutdown] request (or {!stop}) flips the flag;
+    then close the listeners and unlink the Unix socket path.  Ignores
+    [SIGPIPE] process-wide.
+    @raise Invalid_argument when the config names no socket at all. *)
+
+val stop : t -> unit
+(** Ask the accept loop to wind down (checked at least every 200ms). *)

@@ -441,7 +441,10 @@ let schedule ?(epochs = 8) ?(partition_limit = 512) ?(eval_partitions = 16) ?(or
         Tf_obs.Counter.incr m_warm_applied;
         let _, _, stage, ord = pairs.(!found) in
         match eval_candidate ctx ~mode ~epochs ~stage ~ord ~prune_bound:no_prune ~record:false with
-        | Pruned, _ -> assert false
+        | Pruned, _ ->
+            invalid_arg
+              "Dpipe.schedule: warm-hint evaluation reported Pruned under the no-prune bound \
+               (cost model returned a non-finite interval?)"
         | Done { steady; _ }, _ -> shrink_incumbent incumbent steady
       end
   | _ -> ());
@@ -454,7 +457,10 @@ let schedule ?(epochs = 8) ?(partition_limit = 512) ?(eval_partitions = 16) ?(or
       match
         eval_candidate ctx ~mode ~epochs ~stage ~ord ~prune_bound:no_prune ~record:true
       with
-      | Pruned, _ -> assert false
+      | Pruned, _ ->
+          invalid_arg
+            "Dpipe.schedule: verify-mode candidate reported Pruned under the no-prune bound \
+             (cost model returned a non-finite interval?)"
       | Done { makespan; steady; _ }, assignments ->
           Tf_obs.Counter.incr m_evaluated;
           let candidate =
@@ -515,7 +521,10 @@ let schedule ?(epochs = 8) ?(partition_limit = 512) ?(eval_partitions = 16) ?(or
         match
           eval_candidate ctx ~mode ~epochs ~stage ~ord ~prune_bound:no_prune ~record:true
         with
-        | Pruned, _ -> assert false
+        | Pruned, _ ->
+            invalid_arg
+              "Dpipe.schedule: winning candidate reported Pruned on re-evaluation under the \
+               no-prune bound (cost model not deterministic?)"
         | Done _, assignments -> assignments
       in
       let useful r =
@@ -578,7 +587,10 @@ module Private = struct
                 eval_candidate ctx ~mode ~epochs:e ~stage ~ord ~prune_bound:no_prune
                   ~record:false
               with
-              | Pruned, _ -> assert false
+              | Pruned, _ ->
+                  invalid_arg
+                    "Dpipe.Private.steady_consistency_check: candidate reported Pruned under \
+                     the no-prune bound"
               | Done { makespan; makespan_half; steady }, _ -> (makespan, makespan_half, steady)
             in
             let mk, mk_half, steady = run epochs in

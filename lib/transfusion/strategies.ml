@@ -265,9 +265,11 @@ let fusemax_assign (arch : Arch.t) cascade =
 
 (* Memoised DPipe runs: the schedule depends only on (arch, model, seq,
    batch, m0, mode tag).  The table is shared by concurrent sweep
-   evaluations, hence the mutexed [Tf_parallel.Memo]. *)
+   evaluations, hence the mutexed [Tf_parallel.Memo]; bounded so a
+   long-running server cannot grow it without limit (an evicted
+   schedule recomputes on its next request). *)
 let dpipe_cache : (string, exec_summary) Tf_parallel.Memo.t =
-  Tf_parallel.Memo.create ~name:"strategies.dpipe" ()
+  Tf_parallel.Memo.create ~name:"strategies.dpipe" ~max_entries:2048 ()
 
 let attention_tag = function
   | Self -> "self"
@@ -292,9 +294,15 @@ let arch_fingerprint (a : Arch.t) =
    of the next schedule.  Unlike [dpipe_cache], the key drops seq/m0 so a
    hint learned at one sweep point transfers to its neighbours — safe
    because {!Dpipe.schedule}'s [warm] is result-invariant (a hint absent
-   from the new candidate grid is simply ignored). *)
-let dpipe_hints : (string, Dpipe.hint) Hashtbl.t = Hashtbl.create 32
-let dpipe_hints_mutex = Mutex.create ()
+   from the new candidate grid is simply ignored, and a hint lost to the
+   capacity bound merely costs a cold branch-and-bound start).  The
+   registry previously appended forever; in a daemon that was a leak. *)
+let dpipe_hints : (string, Dpipe.hint) Tf_parallel.Bounded.t =
+  Tf_parallel.Bounded.create ~capacity:256 ~name:"strategies.dpipe_hints" ()
+
+let reset_registries () =
+  Tf_parallel.Memo.clear dpipe_cache;
+  Tf_parallel.Bounded.clear dpipe_hints
 
 let hint_key ctx ~tag =
   let kind =
@@ -315,10 +323,8 @@ let cached_pipelined ?mode ~tag ctx cascade =
   in
   Tf_parallel.Memo.find_or_compute dpipe_cache key (fun () ->
       let hkey = hint_key ctx ~tag in
-      let warm = Mutex.protect dpipe_hints_mutex (fun () -> Hashtbl.find_opt dpipe_hints hkey) in
-      let store_hint h =
-        Mutex.protect dpipe_hints_mutex (fun () -> Hashtbl.replace dpipe_hints hkey h)
-      in
+      let warm = Tf_parallel.Bounded.find_opt dpipe_hints hkey in
+      let store_hint h = Tf_parallel.Bounded.put dpipe_hints hkey h in
       pipelined_exec ?mode ?warm ~store_hint ctx cascade)
 
 (* ------------------------------------------------------------------ *)
@@ -905,6 +911,8 @@ let energy_ratio ~baseline r =
 
 module Private = struct
   let arch_fingerprint = arch_fingerprint
+
+  let dpipe_hint_stats () = Tf_parallel.Bounded.stats dpipe_hints
 
   (* Hot-path probes for the microbenches and the scorer-equivalence
      tests.  [transfusion_scorer] prebuilds the evaluation state and

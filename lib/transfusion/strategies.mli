@@ -111,6 +111,12 @@ val energy_ratio : baseline:result -> result -> float
 
 val pp_name : t Fmt.t
 
+val reset_registries : unit -> unit
+(** Drop the memoised DPipe schedules and the cross-point warm-hint
+    registry — cache hygiene for long-running processes and
+    determinism harnesses.  Both stores are accelerators only, so
+    clearing them never changes any result. *)
+
 (**/**)
 
 (* Test-only access. *)
@@ -119,6 +125,10 @@ module Private : sig
   (** The architecture identity used to key the shared DPipe cache.
       Must distinguish any two archs whose parameters differ, even when
       they share a [name] (ablation variants do). *)
+
+  val dpipe_hint_stats : unit -> Tf_parallel.Bounded.stats
+  (** Population/eviction counters of the warm-hint registry — tests
+      assert the capacity bound holds under churn. *)
 
   val transfusion_scorer :
     ?attention:attention ->

@@ -133,6 +133,94 @@ let test_memo_single_flight () =
   Alcotest.(check int) "retry after failure" 7 (P.Memo.find_or_compute m2 1 (fun () -> 7));
   Alcotest.(check int) "retried value cached" 7 (P.Memo.find_or_compute m2 1 (fun () -> 8))
 
+let test_memo_max_entries () =
+  let m = P.Memo.create ~max_entries:8 () in
+  (* Churn far past the bound: the settled population must never
+     exceed it, and evictions must account for the overflow. *)
+  for i = 1 to 100 do
+    ignore (P.Memo.find_or_compute m i (fun () -> i * i) : int);
+    Alcotest.(check bool) "bound holds under churn" true (P.Memo.length m <= 8)
+  done;
+  Alcotest.(check int) "population capped" 8 (P.Memo.length m);
+  Alcotest.(check int) "evictions account for overflow" 92 (P.Memo.evictions m);
+  (* LRU-ish: the most recent keys survive, evicted keys recompute. *)
+  Alcotest.(check bool) "recent key resident" true (P.Memo.find_opt m 100 <> None);
+  Alcotest.(check bool) "stale key evicted" true (P.Memo.find_opt m 1 = None);
+  let recomputed = ref false in
+  ignore
+    (P.Memo.find_or_compute m 1 (fun () ->
+         recomputed := true;
+         1)
+      : int);
+  Alcotest.(check bool) "evicted key recomputes" true !recomputed;
+  (* A hit refreshes recency: key 100's survivors change accordingly. *)
+  ignore (P.Memo.find_opt m 95 : int option);
+  for i = 200 to 206 do
+    ignore (P.Memo.find_or_compute m i (fun () -> i) : int)
+  done;
+  Alcotest.(check bool) "touched key survives a near-full refill" true
+    (P.Memo.find_opt m 95 <> None);
+  Alcotest.(check bool) "max_entries < 1 rejected" true
+    (match P.Memo.create ~max_entries:0 () with
+    | exception Invalid_argument _ -> true
+    | (_ : (int, int) P.Memo.t) -> false)
+
+let test_bounded_churn () =
+  let b = P.Bounded.create ~capacity:16 () in
+  for i = 1 to 500 do
+    P.Bounded.put b i (i * 2);
+    Alcotest.(check bool) "capacity holds under churn" true (P.Bounded.length b <= 16)
+  done;
+  let s = P.Bounded.stats b in
+  Alcotest.(check int) "population at capacity" 16 s.P.Bounded.entries;
+  Alcotest.(check int) "capacity reported" 16 s.P.Bounded.capacity;
+  Alcotest.(check int) "insertions counted" 500 s.P.Bounded.insertions;
+  Alcotest.(check int) "evictions account for overflow" 484 s.P.Bounded.evictions;
+  Alcotest.(check bool) "recent key resident" true (P.Bounded.find_opt b 500 = Some 1000);
+  Alcotest.(check bool) "stale key evicted" true (P.Bounded.find_opt b 1 = None);
+  (* find_opt touches: a read keeps an old entry alive through churn. *)
+  ignore (P.Bounded.find_opt b 490 : int option);
+  for i = 600 to 614 do
+    P.Bounded.put b i i
+  done;
+  Alcotest.(check bool) "touched key survives refill" true (P.Bounded.find_opt b 490 <> None);
+  (* update is read-modify-write. *)
+  let lists = P.Bounded.create ~capacity:4 () in
+  P.Bounded.update lists "k" (function None -> [ 1 ] | Some l -> 2 :: l);
+  P.Bounded.update lists "k" (function None -> [ 1 ] | Some l -> 2 :: l);
+  Alcotest.(check bool) "update sees previous value" true
+    (P.Bounded.find_opt lists "k" = Some [ 2; 1 ]);
+  P.Bounded.clear b;
+  Alcotest.(check int) "clear empties" 0 (P.Bounded.length b)
+
+let test_warm_registries_bounded () =
+  (* The library-level leak fixes: both warm registries hold their
+     capacity bound under a flood of distinct keys (the daemon's
+     workload shape), and reset_cache drops them. *)
+  E.Exp_common.reset_cache ();
+  let archs = [ Tf_arch.Presets.edge; Tf_arch.Presets.cloud ] in
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun seq_len ->
+          let w = Workload.v Presets.t5 ~seq_len in
+          ignore
+            (E.Exp_common.evaluate ~tileseek_iterations:5 arch w Strategies.Transfusion
+              : Strategies.result))
+        [ 512; 1024; 2048; 4096 ])
+    archs;
+  let ws = E.Exp_common.warm_stats () in
+  Alcotest.(check bool) "warm registry populated" true (ws.P.Bounded.entries > 0);
+  Alcotest.(check bool) "warm registry within capacity" true
+    (ws.P.Bounded.entries <= ws.P.Bounded.capacity);
+  let hs = Strategies.Private.dpipe_hint_stats () in
+  Alcotest.(check bool) "dpipe hints within capacity" true
+    (hs.P.Bounded.entries <= hs.P.Bounded.capacity);
+  E.Exp_common.reset_cache ();
+  Alcotest.(check int) "reset drops warm registry" 0 (E.Exp_common.warm_stats ()).P.Bounded.entries;
+  Alcotest.(check int) "reset drops dpipe hints" 0
+    (Strategies.Private.dpipe_hint_stats ()).P.Bounded.entries
+
 let toy_arch =
   Tf_arch.Arch.v ~name:"ptoy" ~clock_hz:1e9 ~vector_eff_2d:0.5 ~matrix_eff_1d:0.5
     ~pe_2d:(Tf_arch.Pe_array.two_d 10 10) ~pe_1d:(Tf_arch.Pe_array.one_d 10)
@@ -219,7 +307,16 @@ let () =
           quick "nested map degrades" test_nested_map;
         ] );
       ( "memo",
-        [ quick "memo table" test_memo; quick "single-flight compute" test_memo_single_flight ] );
+        [
+          quick "memo table" test_memo;
+          quick "single-flight compute" test_memo_single_flight;
+          quick "max_entries bound" test_memo_max_entries;
+        ] );
+      ( "bounded",
+        [
+          quick "capacity under churn" test_bounded_churn;
+          quick "warm registries bounded" test_warm_registries_bounded;
+        ] );
       ( "determinism",
         [
           quick "dpipe schedule" test_dpipe_schedule_deterministic;

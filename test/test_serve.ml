@@ -1,0 +1,424 @@
+(* Tests for the scheduling daemon: wire protocol, the differential
+   guarantee (daemon responses bit-identical to one-shot CLI output),
+   single-flight deduplication under concurrent clients, disk-tier
+   rehydration across restarts, seq-len bucketing, and the fuzz
+   property that no mutated request ever kills the request loop. *)
+
+module Json = Tf_experiments.Export.Json
+module R = Tf_report.Json_read
+module Protocol = Tf_serve.Protocol
+module Server = Tf_serve.Server
+module Api = Tf_serve.Api
+module Strategies = Transfusion.Strategies
+open Tf_workloads
+
+let mem_server () = Server.create Server.default_config
+
+let counter name = Option.value ~default:0 (Tf_obs.counter_value (Tf_obs.snapshot ()) name)
+
+let response_of line =
+  match R.parse line with
+  | R.Obj _ as doc -> doc
+  | _ -> Alcotest.failf "response is not an object: %s" line
+
+let is_ok doc = R.find "ok" doc = Some (R.Bool true)
+
+let payload_exn line =
+  match Protocol.result_of_line line with
+  | Some p -> p
+  | None -> Alcotest.failf "no result payload in %s" line
+
+(* --- protocol ------------------------------------------------------- *)
+
+let test_protocol_roundtrip () =
+  let req = Protocol.parse_request {|{"op":"ping","id":"a7","seq":1024}|} in
+  Alcotest.(check string) "op" "ping" req.Protocol.op;
+  Alcotest.(check bool) "id echoed" true (req.Protocol.id = Json.Str "a7");
+  Alcotest.(check int) "int field" 1024 (Protocol.int_field req.Protocol.body "seq" ~default:0);
+  Alcotest.(check int) "int default" 64 (Protocol.int_field req.Protocol.body "batch" ~default:64);
+  let ok = Protocol.ok_line ~id:(Json.Str "a7") ~op:"ping" {|{"pong":true}|} in
+  Alcotest.(check (option string)) "result splice inverts" (Some {|{"pong":true}|})
+    (Protocol.result_of_line ok);
+  let doc = response_of ok in
+  Alcotest.(check bool) "ok response parses ok" true (is_ok doc);
+  Alcotest.(check bool) "schema tagged" true
+    (R.find "schema" doc = Some (R.Str Protocol.schema));
+  let err = Protocol.error_line ~op:"ping" "boom \"quoted\"" in
+  let edoc = response_of err in
+  Alcotest.(check bool) "error not ok" true (R.find "ok" edoc = Some (R.Bool false));
+  Alcotest.(check bool) "error message survives quoting" true
+    (R.find "error" edoc = Some (R.Str "boom \"quoted\""))
+
+let test_protocol_rejects () =
+  let rejects s =
+    match Protocol.parse_request s with
+    | exception Protocol.Bad_request _ -> ()
+    | _ -> Alcotest.failf "expected Bad_request on %s" s
+  in
+  rejects "";
+  rejects "not json";
+  rejects {|{"op":"ping"|};
+  rejects {|{"op":42}|};
+  rejects {|{"noop":"ping"}|};
+  rejects {|[1,2,3]|};
+  rejects {|{"op":"ping"} trailing|};
+  rejects {|{"op":"ping","id":[1]}|};
+  (* Over-long and over-deep hostile lines are rejected, not fatal. *)
+  rejects (Printf.sprintf {|{"op":"ping","pad":"%s"}|} (String.make Protocol.max_request_bytes 'x'));
+  rejects (String.make 100_000 '[')
+
+(* --- routing and failure discipline ---------------------------------- *)
+
+let test_handle_line_total () =
+  let t = mem_server () in
+  List.iter
+    (fun line ->
+      let doc = response_of (Server.handle_line t line) in
+      Alcotest.(check bool) ("rejected: " ^ line) true (not (is_ok doc)))
+    [
+      "";
+      "garbage";
+      {|{"op":"nosuch"}|};
+      {|{"op":"schedule","model":"NoSuchModel"}|};
+      {|{"op":"schedule","arch":"warp"}|};
+      {|{"op":"schedule","strategy":"quantum"}|};
+      {|{"op":"schedule","seq":"big"}|};
+      {|{"op":"schedule","seq":-5}|};
+      {|{"op":"schedule","iterations":0}|};
+      {|{"op":"decode","gen":-1}|};
+      String.make 100_000 '[';
+    ];
+  let ping = response_of (Server.handle_line t {|{"op":"ping"}|}) in
+  Alcotest.(check bool) "ping still served after the abuse" true (is_ok ping)
+
+let test_metrics_endpoint () =
+  let t = mem_server () in
+  ignore (Server.handle_line t {|{"op":"ping"}|} : string);
+  let doc = response_of (Server.handle_line t {|{"op":"metrics"}|}) in
+  Alcotest.(check bool) "ok" true (is_ok doc);
+  let metrics = R.member "metrics" (R.member "result" doc) in
+  let pings = R.to_float (R.member "serve.ping.requests_total" metrics) in
+  Alcotest.(check bool) "per-endpoint counter present and counting" true (pings >= 1.);
+  (match R.member "serve.ping.latency_seconds" metrics with
+  | R.Obj fields ->
+      Alcotest.(check bool) "latency histogram has buckets" true
+        (List.mem_assoc "buckets" fields && List.mem_assoc "count" fields)
+  | _ -> Alcotest.fail "latency histogram missing");
+  Alcotest.(check bool) "connections gauge present" true
+    (R.find "serve.connections_active" metrics <> None)
+
+(* --- differential: daemon vs one-shot -------------------------------- *)
+
+let iterations = 30
+
+let sched_request ?(batch = 8) arch model seq strategy =
+  Printf.sprintf
+    {|{"op":"schedule","arch":"%s","model":"%s","seq":%d,"batch":%d,"strategy":"%s","iterations":%d}|}
+    arch model seq batch strategy iterations
+
+let test_differential_schedule () =
+  let t = mem_server () in
+  List.iter
+    (fun (arch_name, seq, strategy) ->
+      let arch = Option.get (Tf_arch.Presets.by_name arch_name) in
+      let model = Option.get (Presets.by_name "T5") in
+      let w = Workload.v ~batch:8 model ~seq_len:seq in
+      let direct = Json.to_line (Api.eval_doc ~iterations arch w (Option.get (Strategies.of_name strategy))) in
+      let served = payload_exn (Server.handle_line t (sched_request arch_name model.Model.name seq strategy)) in
+      Alcotest.(check string)
+        (Printf.sprintf "bit-identical payload: %s/%d/%s" arch_name seq strategy)
+        direct served;
+      (* A warm repeat replays the exact bytes from the cache. *)
+      let warm = payload_exn (Server.handle_line t (sched_request arch_name model.Model.name seq strategy)) in
+      Alcotest.(check string) "warm hit bit-identical" direct warm)
+    [
+      ("cloud", 1024, "unfused");
+      ("cloud", 4096, "transfusion");
+      ("edge", 1024, "transfusion");
+      ("edge", 4096, "flat");
+    ]
+
+let test_differential_explain () =
+  let t = mem_server () in
+  let arch = Tf_arch.Presets.edge in
+  let w = Workload.v ~batch:8 Presets.t5 ~seq_len:1024 in
+  let direct = Json.to_line (Api.explain_doc ~iterations ~seed:7 arch w) in
+  let served =
+    payload_exn
+      (Server.handle_line t
+         (Printf.sprintf
+            {|{"op":"explain","arch":"edge","model":"T5","seq":1024,"batch":8,"iterations":%d,"seed":7}|}
+            iterations))
+  in
+  Alcotest.(check string) "explain payload bit-identical" direct served
+
+let test_differential_decode () =
+  let t = mem_server () in
+  let arch = Tf_arch.Presets.edge in
+  let direct =
+    Json.to_line
+      (Api.decode_doc ~quick:true ~gen:64 ~batch:4 ~strategies:[ Strategies.Transfusion ]
+         ~iterations arch [ Presets.t5 ])
+  in
+  let served =
+    payload_exn
+      (Server.handle_line t
+         (Printf.sprintf
+            {|{"op":"decode","arch":"edge","model":"T5","strategy":"transfusion","gen":64,"batch":4,"iterations":%d,"quick":true}|}
+            iterations))
+  in
+  Alcotest.(check string) "decode payload bit-identical" direct served
+
+let test_differential_cli_binary () =
+  (* The strongest form: the actual one-shot CLI process emits exactly
+     the pretty rendering of the same document the daemon serves. *)
+  (* Under `dune runtest` the cwd is the test directory (the binary is
+     a declared dep one level up); `dune exec` runs from the project
+     root. *)
+  let cli =
+    match
+      List.find_opt Sys.file_exists
+        [ "../bin/transfusion_cli.exe"; "_build/default/bin/transfusion_cli.exe" ]
+    with
+    | Some c -> c
+    | None -> Alcotest.skip ()
+  in
+  let cmd =
+    Printf.sprintf "%s eval -a edge -m T5 -s 1024 -b 8 --strategy unfused --iterations %d --json -"
+      cli iterations
+  in
+  let ic = Unix.open_process_in cmd in
+  let out = In_channel.input_all ic in
+  (match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "cli eval --json failed");
+  let arch = Tf_arch.Presets.edge in
+  let w = Workload.v ~batch:8 Presets.t5 ~seq_len:1024 in
+  let doc = Api.eval_doc ~iterations arch w Strategies.Unfused in
+  Alcotest.(check string) "CLI stdout is the pretty rendering of the served document"
+    (Json.to_string doc) out;
+  let t = mem_server () in
+  let served = payload_exn (Server.handle_line t (sched_request "edge" "T5" 1024 "unfused")) in
+  Alcotest.(check string) "daemon serves the compact rendering of the same document"
+    (Json.to_line doc) served
+
+(* --- concurrency: one key, one search -------------------------------- *)
+
+let test_concurrent_single_flight () =
+  let t = mem_server () in
+  (* A key nothing else in this process has asked for. *)
+  let request = sched_request ~batch:3 "edge" "BERT" 2048 "transfusion" in
+  let misses0 = counter "memo.serve.schedule.misses_total" in
+  let n = 8 in
+  let results = Array.make n "" in
+  let threads =
+    List.init n (fun i ->
+        Thread.create (fun () -> results.(i) <- Server.handle_line t request) ())
+  in
+  List.iter Thread.join threads;
+  Array.iter
+    (fun r ->
+      Alcotest.(check string) "every client gets byte-identical responses" results.(0) r;
+      Alcotest.(check bool) "and they are ok" true (is_ok (response_of r)))
+    results;
+  Alcotest.(check int) "the schedule was computed exactly once" 1
+    (counter "memo.serve.schedule.misses_total" - misses0)
+
+(* --- restart: disk tier rehydration ---------------------------------- *)
+
+let temp_dir prefix =
+  let dir = Filename.temp_file prefix "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  dir
+
+let test_restart_rehydration () =
+  let dir = temp_dir "tf-serve-cache" in
+  let config = { Server.default_config with cache_dir = Some dir } in
+  let request = sched_request ~batch:5 "edge" "T5" 1024 "unfused" in
+  let first = Server.create config in
+  let cold = payload_exn (Server.handle_line first request) in
+  (* A different daemon instance: empty memory tier, same disk. *)
+  let disk_hits0 = counter "serve.cache.disk_hits_total" in
+  let second = Server.create config in
+  let rehydrated = payload_exn (Server.handle_line second request) in
+  Alcotest.(check string) "rehydrated payload bit-identical" cold rehydrated;
+  Alcotest.(check int) "served from the disk tier, not recomputed" 1
+    (counter "serve.cache.disk_hits_total" - disk_hits0);
+  (* A corrupt entry reads as a miss, never a failure. *)
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".json" then
+        Out_channel.with_open_text (Filename.concat dir f) (fun oc ->
+            Out_channel.output_string oc "{corrupt"))
+    (Sys.readdir dir);
+  let third = Server.create config in
+  let recomputed = payload_exn (Server.handle_line third request) in
+  Alcotest.(check string) "recomputed past corruption, still identical" cold recomputed
+
+(* --- bucketing -------------------------------------------------------- *)
+
+let test_bucketing () =
+  let t = Server.create { Server.default_config with grid = 1024 } in
+  let on_grid = payload_exn (Server.handle_line t (sched_request "edge" "T5" 2048 "unfused")) in
+  Alcotest.(check bool) "on-grid answers are plain eval documents" true
+    (R.find "schema" (R.parse on_grid) = Some (R.Str Api.eval_schema));
+  let off = payload_exn (Server.handle_line t (sched_request "edge" "T5" 1536 "unfused")) in
+  let doc = R.parse off in
+  Alcotest.(check bool) "off-grid answers are interpolations" true
+    (R.find "schema" doc = Some (R.Str "transfusion.eval-interp/1"));
+  let interp = R.member "interpolation" doc in
+  let geti k = int_of_float (R.to_float (R.member k interp)) in
+  Alcotest.(check int) "lo bucket" 1024 (geti "lo");
+  Alcotest.(check int) "hi bucket" 2048 (geti "hi");
+  Alcotest.(check bool) "bucket is one of the endpoints" true
+    (List.mem (geti "bucket_seq_len") [ 1024; 2048 ]);
+  Alcotest.(check int) "bucket schedule is exact, from the bucket length"
+    (geti "bucket_seq_len")
+    (int_of_float (R.to_float (R.member "seq_len" (R.member "bucket" doc))));
+  (* The interpolated costs are the exact affine blend of the cached
+     endpoint documents. *)
+  let costs seq =
+    Api.payload_costs (payload_exn (Server.handle_line t (sched_request "edge" "T5" seq "unfused")))
+  in
+  let lat_lo, en_lo = costs 1024 and lat_hi, en_hi = costs 2048 in
+  let f = float_of_int (1536 - 1024) /. float_of_int (2048 - 1024) in
+  let lerp a b = a +. ((b -. a) *. f) in
+  Alcotest.(check (float 0.0)) "latency lerped between buckets" (lerp lat_lo lat_hi)
+    (R.to_float (R.member "latency_total_s" interp));
+  Alcotest.(check (float 0.0)) "energy lerped between buckets" (lerp en_lo en_hi)
+    (R.to_float (R.member "energy_total_pj" interp));
+  (match R.member "certified" interp with
+  | R.Bool _ -> ()
+  | _ -> Alcotest.fail "certified flag missing")
+
+(* --- sockets: a real daemon over a Unix socket ----------------------- *)
+
+let test_socket_round_trip () =
+  let dir = temp_dir "tf-serve-sock" in
+  let path = Filename.concat dir "tf.sock" in
+  let t = Server.create { Server.default_config with socket_path = Some path } in
+  let server_thread = Thread.create Server.serve t in
+  let rec wait_for_socket tries =
+    if not (Sys.file_exists path) then
+      if tries = 0 then Alcotest.fail "server socket never appeared"
+      else begin
+        Thread.delay 0.05;
+        wait_for_socket (tries - 1)
+      end
+  in
+  wait_for_socket 100;
+  let talk lines =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+    let replies =
+      List.map
+        (fun line ->
+          output_string oc (line ^ "\n");
+          flush oc;
+          match In_channel.input_line ic with
+          | Some r -> r
+          | None -> Alcotest.fail "connection dropped")
+        lines
+    in
+    close_out oc;
+    replies
+  in
+  (match talk [ {|{"op":"ping","id":9}|}; "garbage"; {|{"op":"ping"}|} ] with
+  | [ a; b; c ] ->
+      Alcotest.(check bool) "ping ok" true (is_ok (response_of a));
+      Alcotest.(check bool) "id echoed over the wire" true
+        (R.find "id" (response_of a) = Some (R.Num 9.));
+      Alcotest.(check bool) "garbage answered, not fatal" true (not (is_ok (response_of b)));
+      Alcotest.(check bool) "connection survives the garbage" true (is_ok (response_of c))
+  | _ -> Alcotest.fail "wrong reply count");
+  (* A second connection works; shutdown stops the daemon. *)
+  (match talk [ {|{"op":"shutdown"}|} ] with
+  | [ r ] -> Alcotest.(check bool) "shutdown acknowledged" true (is_ok (response_of r))
+  | _ -> Alcotest.fail "no shutdown reply");
+  Thread.join server_thread;
+  Alcotest.(check bool) "socket unlinked on exit" false (Sys.file_exists path)
+
+(* --- fuzz: mutated requests never kill the loop ----------------------- *)
+
+let fuzz_templates =
+  [
+    {|{"op":"ping","id":3}|};
+    {|{"op":"metrics"}|};
+    {|{"op":"schedule","arch":"edge","model":"T5","seq":1024,"batch":4,"strategy":"unfused","iterations":5}|};
+    {|{"op":"explain","arch":"edge","model":"T5","seq":1024,"batch":4,"iterations":5,"seed":3}|};
+    {|{"op":"nosuch","x":[1,2,{"y":null}]}|};
+  ]
+
+let mutate r line =
+  let b = Bytes.of_string line in
+  let mutations = 1 + Qgen.int r 2 in
+  let out = ref b in
+  for _ = 1 to mutations do
+    let b = !out in
+    let len = Bytes.length b in
+    if len > 0 then
+      match Qgen.int r 3 with
+      | 0 ->
+          (* flip a byte *)
+          Bytes.set b (Qgen.int r len) (Char.chr (Qgen.int r 256))
+      | 1 ->
+          (* delete a byte *)
+          let i = Qgen.int r len in
+          out := Bytes.cat (Bytes.sub b 0 i) (Bytes.sub b (i + 1) (len - i - 1))
+      | _ ->
+          (* insert a byte *)
+          let i = Qgen.int r (len + 1) in
+          let c = Bytes.make 1 (Char.chr (Qgen.int r 256)) in
+          out := Bytes.cat (Bytes.sub b 0 i) (Bytes.cat c (Bytes.sub b i (len - i)))
+  done;
+  Bytes.to_string !out
+
+let test_fuzz_mutations () =
+  let t = mem_server () in
+  Qgen.run ~count:120
+    ~print:(fun s -> Printf.sprintf "%S" s)
+    ~gen:(fun r -> mutate r (Qgen.choose r fuzz_templates))
+    "mutated requests always get a framed JSON response"
+    (fun line ->
+      (* Newlines in the mutation would be two frames on a real
+         connection; the router sees single lines by construction. *)
+      let line = String.concat " " (String.split_on_char '\n' line) in
+      let reply = Server.handle_line t line in
+      match R.parse reply with
+      | R.Obj fields ->
+          if not (List.mem_assoc "ok" fields) then failwith "response lacks ok field";
+          if String.contains reply '\n' then failwith "response not single-line"
+      | _ -> failwith "response not an object")
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "tf_serve"
+    [
+      ( "protocol",
+        [
+          quick "roundtrip" test_protocol_roundtrip;
+          quick "rejects malformed" test_protocol_rejects;
+        ] );
+      ( "routing",
+        [
+          quick "handle_line is total" test_handle_line_total;
+          quick "metrics endpoint" test_metrics_endpoint;
+        ] );
+      ( "differential",
+        [
+          quick "schedule vs eval_doc" test_differential_schedule;
+          quick "explain vs explain_doc" test_differential_explain;
+          quick "decode vs decode_doc" test_differential_decode;
+          quick "daemon vs CLI binary" test_differential_cli_binary;
+        ] );
+      ( "cache",
+        [
+          quick "concurrent clients, one search" test_concurrent_single_flight;
+          quick "restart rehydrates from disk" test_restart_rehydration;
+        ] );
+      ("bucketing", [ quick "off-grid interpolation" test_bucketing ]);
+      ("sockets", [ quick "round trip and shutdown" test_socket_round_trip ]);
+      ("fuzz", [ quick "mutations never crash" test_fuzz_mutations ]);
+    ]
