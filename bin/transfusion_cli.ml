@@ -7,6 +7,7 @@
      search    run TileSeek and report the chosen tiling
      schedule  show the DPipe schedule of the fused layer
      explain   simulate the TransFusion schedule and report bottlenecks
+     simulate  serve a seeded arrival stream (continuous batching simulator)
      serve     persistent scheduling daemon (NDJSON over a Unix socket)
      figures   regenerate the paper's figures (also see bench/main.exe) *)
 
@@ -858,6 +859,187 @@ let decode_cmd =
       const run $ obs_term $ arch_arg $ models_arg $ gen_arg $ batch_arg $ strategies_arg
       $ iterations_arg $ quick_arg $ json_arg $ sim_trace_arg)
 
+let simulate_cmd =
+  let run obs arch model strategy iterations seed requests qps process policy capacity classes
+      horizon cache_dir compare json sim_trace =
+    obs @@ fun () ->
+    let module S = Tf_serving in
+    let cache = Option.map (fun dir -> Tf_serve.Cache.create ~dir ()) cache_dir in
+    let costs = S.Costs.create ?cache ~strategy ~iterations arch model in
+    if compare then begin
+      let points = S.Exp_serving.sweep ~seed ~n:requests ~capacity ~classes ~process ~costs () in
+      if json <> Some "-" then
+        S.Exp_serving.print
+          ~title:
+            (Printf.sprintf "Serving policies on %s/%s (%s, %d requests, capacity %d)"
+               arch.Tf_arch.Arch.name model.Tf_workloads.Model.name
+               (S.Traffic.process_name process) requests capacity)
+          points;
+      match json with
+      | None -> ()
+      | Some path -> emit_json ~what:"serving JSON" path (S.Exp_serving.to_json ~costs points)
+    end
+    else begin
+      let rate_qps =
+        match qps with
+        | Some q -> q
+        | None -> 0.7 *. S.Exp_serving.service_rate ~costs ~classes ~capacity
+      in
+      let trace = S.Traffic.generate ~classes ~seed ~rate_qps ~n:requests process in
+      let report = S.Simulator.run ?horizon_s:horizon ~capacity ~costs ~policy trace in
+      if json <> Some "-" && sim_trace <> Some "-" then begin
+        let r = report in
+        Fmt.pr "serving simulation: %s policy, %d requests @@ %.3f qps (%s, seed %d)@."
+          r.S.Simulator.policy requests rate_qps (S.Traffic.process_name process) seed;
+        Fmt.pr "  completed %d, unfinished %d, preemptions %d, decode steps %d@."
+          (List.length r.S.Simulator.completed)
+          (List.length r.S.Simulator.unfinished)
+          r.S.Simulator.preemptions r.S.Simulator.steps;
+        Fmt.pr "  makespan %.3fs, busy %.3fs, utilization %.1f%%, mean batch %.2f@."
+          r.S.Simulator.makespan_s r.S.Simulator.busy_s
+          (100. *. r.S.Simulator.pe_utilization)
+          r.S.Simulator.mean_batch;
+        Fmt.pr "  TTFT p50/p95/p99 %.2f/%.2f/%.2f ms, TPOT p50/p95 %.3f/%.3f ms@."
+          (1e3 *. r.S.Simulator.ttft.S.Simulator.p50)
+          (1e3 *. r.S.Simulator.ttft.S.Simulator.p95)
+          (1e3 *. r.S.Simulator.ttft.S.Simulator.p99)
+          (1e3 *. r.S.Simulator.tpot.S.Simulator.p50)
+          (1e3 *. r.S.Simulator.tpot.S.Simulator.p95);
+        Fmt.pr "  energy/request %.2f uJ, queue depth max %d mean %.2f@."
+          (r.S.Simulator.energy_per_request_pj /. 1e6)
+          r.S.Simulator.queue_depth_max r.S.Simulator.queue_depth_mean
+      end;
+      (match json with
+      | None -> ()
+      | Some path -> emit_json ~what:"serving JSON" path (S.Simulator.to_json ~costs report));
+      match sim_trace with
+      | None -> ()
+      | Some path -> emit_json ~what:"serving sim trace" path (S.Trace.document report)
+    end
+  in
+  let process_conv =
+    let parse s =
+      match Tf_serving.Traffic.default_process s with
+      | Some p -> Ok p
+      | None -> Error (`Msg (Printf.sprintf "unknown arrival process %S (poisson|bursty|diurnal)" s))
+    in
+    Arg.conv (parse, fun ppf p -> Fmt.string ppf (Tf_serving.Traffic.process_name p))
+  in
+  let policy_conv =
+    let parse s =
+      match Tf_serving.Policy.of_name s with
+      | Some p -> Ok p
+      | None ->
+          Error (`Msg (Printf.sprintf "unknown policy %S (static|continuous|interleaved)" s))
+    in
+    Arg.conv (parse, fun ppf (p : Tf_serving.Policy.t) -> Fmt.string ppf p.Tf_serving.Policy.name)
+  in
+  let classes_conv =
+    let parse s = Result.map_error (fun m -> `Msg m) (Tf_serving.Traffic.parse_classes s) in
+    let print ppf classes =
+      Fmt.string ppf
+        (String.concat ","
+           (List.map
+              (fun (c : Tf_serving.Traffic.cls) ->
+                Printf.sprintf "%d:%d:%g" c.Tf_serving.Traffic.prompt c.Tf_serving.Traffic.gen
+                  c.Tf_serving.Traffic.weight)
+              classes))
+    in
+    Arg.conv (parse, print)
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Traffic seed.") in
+  let requests_arg =
+    Arg.(value & opt int 200 & info [ "requests" ] ~docv:"N" ~doc:"Requests in the trace.")
+  in
+  let qps_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "qps" ] ~docv:"RATE"
+          ~doc:
+            "Mean arrival rate (requests/s).  Default: 70% of the estimated service capacity \
+             (high load).")
+  in
+  let process_arg =
+    Arg.(
+      value
+      & opt process_conv Tf_serving.Traffic.Poisson
+      & info [ "process" ] ~docv:"PROCESS" ~doc:"Arrival process: poisson, bursty or diurnal.")
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt policy_conv Tf_serving.Policy.continuous
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Admission policy: static, continuous or interleaved.")
+  in
+  let capacity_arg =
+    Arg.(value & opt int 16 & info [ "capacity" ] ~docv:"N" ~doc:"Decode batch capacity.")
+  in
+  let classes_arg =
+    Arg.(
+      value
+      & opt classes_conv Tf_serving.Traffic.default_classes
+      & info [ "classes" ] ~docv:"SPEC"
+          ~doc:"Request class mix as PROMPT:GEN:WEIGHT,... (e.g. 256:64:3,1024:256:1).")
+  in
+  let horizon_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "horizon" ] ~docv:"SECONDS"
+          ~doc:"Stop the simulation at this much virtual time (default: run to completion).")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Persist per-class decode costs through the serve daemon's two-tier cache in \
+                $(docv).")
+  in
+  let compare_arg =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:"Run the policy-comparison experiment (all policies x low/high load) instead of a \
+                single simulation.")
+  in
+  let iterations_arg =
+    Arg.(value & opt int 60 & info [ "iterations" ] ~docv:"N" ~doc:"TileSeek MCTS iterations.")
+  in
+  let strategy_arg =
+    Arg.(
+      value
+      & opt strategy_conv Strategies.Transfusion
+      & info [ "strategy" ] ~docv:"STRATEGY" ~doc:"Scheduling strategy costing each request.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the report as a transfusion.serving/1 JSON document to $(docv).")
+  in
+  let sim_trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sim-trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the serving window as Chrome trace-event JSON to $(docv) (\"-\" for stdout; \
+             open in Perfetto).  Timestamps are virtual seconds.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:
+         "Discrete-event simulation of one accelerator serving a seeded arrival stream of \
+          generation requests (continuous batching, TTFT/TPOT distributions)")
+    Term.(
+      const run $ obs_term $ arch_arg $ model_arg $ strategy_arg $ iterations_arg $ seed_arg
+      $ requests_arg $ qps_arg $ process_arg $ policy_arg $ capacity_arg $ classes_arg
+      $ horizon_arg $ cache_dir_arg $ compare_arg $ json_arg $ sim_trace_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info = Cmd.info "transfusion" ~version:"1.0.0" ~doc:"TransFusion end-to-end Transformer scheduling framework" in
@@ -868,6 +1050,7 @@ let () =
          schedule_cmd;
          explain_cmd;
          decode_cmd;
+         simulate_cmd;
          serve_cmd;
          figures_cmd;
          ablations_cmd;

@@ -122,5 +122,81 @@ let document ?(name = "transfusion sim") ~capacity_elements instances =
       ("traceEvents", Json.List (metadata ~name @ List.map slice instances @ occupancy @ capacity));
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Generic span/counter documents (serving timelines and friends)      *)
+
+type span = {
+  tid : int;
+  span_label : string;
+  cat : string;
+  ts_us : float;
+  dur_us : float;
+  span_args : (string * Json.t) list;
+}
+
+let span_slice s =
+  Json.Obj
+    [
+      ("name", Json.Str s.span_label);
+      ("cat", Json.Str s.cat);
+      ("ph", Json.Str "X");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int s.tid);
+      ("ts", Json.Num s.ts_us);
+      ("dur", Json.Num s.dur_us);
+      ("args", Json.Obj s.span_args);
+    ]
+
+let value_counter ~name ~ts value =
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("ph", Json.Str "C");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 0);
+      ("ts", Json.Num ts);
+      ("args", Json.Obj [ ("value", Json.Num value) ]);
+    ]
+
+let spans_document ?(name = "transfusion sim") ?(other_data = []) ~tracks ~spans ~counters () =
+  let thread (tid, thread_name) =
+    Json.Obj
+      [
+        ("name", Json.Str "thread_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.Str thread_name) ]);
+      ]
+  in
+  let process =
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int 0);
+        ("args", Json.Obj [ ("name", Json.Str name) ]);
+      ]
+  in
+  let counter_events =
+    List.concat_map
+      (fun (cname, samples) -> List.map (fun (ts, v) -> value_counter ~name:cname ~ts v) samples)
+      counters
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "transfusion.simtrace/1");
+      ("displayTimeUnit", Json.Str "ns");
+      ( "otherData",
+        Json.Obj
+          (( "spans",
+             Json.Int (List.length spans) )
+          :: other_data) );
+      ( "traceEvents",
+        Json.List ((process :: List.map thread tracks) @ List.map span_slice spans @ counter_events)
+      );
+    ]
+
 let write ~path doc =
   if String.equal path "-" then print_string (Json.to_string doc) else Json.write ~path doc

@@ -35,6 +35,36 @@ val document :
     process track (default ["transfusion sim"]).  Slices appear in the
     input's (completion) order; counters in ascending cycle order. *)
 
+type span = {
+  tid : int;  (** the track the slice renders on *)
+  span_label : string;
+  cat : string;  (** trace-event category (filterable in Perfetto) *)
+  ts_us : float;  (** start, trace microseconds *)
+  dur_us : float;
+  span_args : (string * Tf_experiments.Export.Json.t) list;
+}
+(** A generic complete slice — what timeline producers other than
+    {!Transfusion.Pipeline_sim} (e.g. the serving simulator, whose
+    events are virtual {e seconds}, not cycles) render through
+    {!spans_document}. *)
+
+val spans_document :
+  ?name:string ->
+  ?other_data:(string * Tf_experiments.Export.Json.t) list ->
+  tracks:(int * string) list ->
+  spans:span list ->
+  counters:(string * (float * float) list) list ->
+  unit ->
+  Tf_experiments.Export.Json.t
+(** A [transfusion.simtrace/1] document from arbitrary tracks: one
+    thread-name metadata event per [tracks] entry (tid, name), one "X"
+    slice per span (in input order), and one "C" series per [counters]
+    entry (name, [(ts_us, value)] samples, emitted in input order —
+    pass them sorted).  [other_data] extends the document's [otherData]
+    object; [name] labels the process track (default
+    ["transfusion sim"]).  The cycle-clock {!document} above is this
+    with the Table-2 occupancy model baked in. *)
+
 val write : path:string -> Tf_experiments.Export.Json.t -> unit
 (** {!Tf_experiments.Export.Json.write} with ["-"] routed to stdout —
     the CLI convention for every report artifact. *)

@@ -1,0 +1,170 @@
+module Decode = Transfusion.Decode
+module Strategies = Transfusion.Strategies
+module Generation = Tf_workloads.Generation
+module Exp_common = Tf_experiments.Exp_common
+module Json = Tf_experiments.Export.Json
+
+type per_request = {
+  ttft_s : float;
+  token_s_first : float;
+  token_s_last : float;
+  decode_s : float;
+  prefill_energy_pj : float;
+  energy_per_token_pj : float;
+  decode_energy_pj : float;
+}
+
+type t = {
+  arch : Tf_arch.Arch.t;
+  model : Tf_workloads.Model.t;
+  strategy : Strategies.t;
+  iterations : int;
+  cache : Tf_serve.Cache.t option;
+  (* Shape memo: one entry per distinct (prompt, gen) — the whole point
+     is that a 10k-request simulation over a handful of classes pays a
+     handful of TileSeek searches.  [memo.serving.decode.*] counters. *)
+  memo : (int * int, per_request) Tf_parallel.Memo.t;
+  (* Full metrics kept separately (and only on demand): the differential
+     test wants the uncondensed [Decode.metrics]; the hot path stores
+     just the floats above so the disk tier can round-trip them. *)
+  metrics_memo : (int * int, Decode.metrics) Tf_parallel.Memo.t;
+  computes : int Atomic.t;  (* Decode.evaluate calls actually run *)
+}
+
+let create ?(max_entries = 512) ?cache ?(strategy = Strategies.Transfusion) ?(iterations = 60)
+    arch model =
+  {
+    arch;
+    model;
+    strategy;
+    iterations;
+    cache;
+    memo = Tf_parallel.Memo.create ~name:"serving.decode" ~max_entries ();
+    metrics_memo = Tf_parallel.Memo.create ~max_entries ();
+    computes = Atomic.make 0;
+  }
+
+let spec t ~(cls : Traffic.cls) =
+  Generation.v ~batch:1 ~gen:cls.Traffic.gen t.model ~prompt:cls.Traffic.prompt
+
+let metrics t ~cls =
+  Tf_parallel.Memo.find_or_compute t.metrics_memo (cls.Traffic.prompt, cls.Traffic.gen)
+    (fun () ->
+      Atomic.incr t.computes;
+      Decode.evaluate ~tileseek_iterations:t.iterations t.arch (spec t ~cls) t.strategy)
+
+let of_metrics (m : Decode.metrics) =
+  let decode_energy_pj = Tf_costmodel.Energy.total_pj m.Decode.decode_energy in
+  {
+    ttft_s = m.Decode.ttft_s;
+    token_s_first = m.Decode.token_s_first;
+    token_s_last = m.Decode.token_s_last;
+    decode_s = m.Decode.decode_s;
+    prefill_energy_pj = m.Decode.total_energy_pj -. decode_energy_pj;
+    energy_per_token_pj = m.Decode.energy_per_token_pj;
+    decode_energy_pj;
+  }
+
+(* -------------------------------------------------------------------- *)
+(* Disk-tier codec.  Floats are rendered hexadecimally ([%h]) so a
+   rehydrated cost is bit-identical to a computed one — the simulator's
+   reports must not depend on whether the cache was warm. *)
+
+let payload_schema = "transfusion.serving-cost/1"
+
+let render_payload c =
+  Json.to_line
+    (Json.Obj
+       [
+         ("schema", Json.Str payload_schema);
+         ("ttft_s", Json.Str (Printf.sprintf "%h" c.ttft_s));
+         ("token_s_first", Json.Str (Printf.sprintf "%h" c.token_s_first));
+         ("token_s_last", Json.Str (Printf.sprintf "%h" c.token_s_last));
+         ("decode_s", Json.Str (Printf.sprintf "%h" c.decode_s));
+         ("prefill_energy_pj", Json.Str (Printf.sprintf "%h" c.prefill_energy_pj));
+         ("energy_per_token_pj", Json.Str (Printf.sprintf "%h" c.energy_per_token_pj));
+         ("decode_energy_pj", Json.Str (Printf.sprintf "%h" c.decode_energy_pj));
+       ])
+
+(* Parse a rendered payload without a JSON parser: every field is a
+   ["name", "0x1.abcp-3"] pair on one compact line, so scanning for
+   the quoted field name and reading the quoted hex literal after it is
+   exact.  Any malformed entry reads as [None] and the caller
+   recomputes — a corrupt cache line must never poison a report. *)
+let parse_field line name =
+  let pat = Printf.sprintf "\"%s\":\"" name in
+  let plen = String.length pat in
+  let llen = String.length line in
+  let rec find i =
+    if i + plen > llen then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start -> (
+      match String.index_from_opt line start '"' with
+      | None -> None
+      | Some stop -> float_of_string_opt (String.sub line start (stop - start)))
+
+let parse_payload line =
+  let ( let* ) = Option.bind in
+  let* ttft_s = parse_field line "ttft_s" in
+  let* token_s_first = parse_field line "token_s_first" in
+  let* token_s_last = parse_field line "token_s_last" in
+  let* decode_s = parse_field line "decode_s" in
+  let* prefill_energy_pj = parse_field line "prefill_energy_pj" in
+  let* energy_per_token_pj = parse_field line "energy_per_token_pj" in
+  let* decode_energy_pj = parse_field line "decode_energy_pj" in
+  Some
+    {
+      ttft_s;
+      token_s_first;
+      token_s_last;
+      decode_s;
+      prefill_energy_pj;
+      energy_per_token_pj;
+      decode_energy_pj;
+    }
+
+let key_json t ~(cls : Traffic.cls) =
+  (* Reuse the schedule store's key codec (arch fingerprint + full model
+     record) and tag on the decode horizon, which the workload key alone
+     does not carry. *)
+  let prefill = Generation.prefill_workload (spec t ~cls) in
+  let key = Exp_common.cache_key ~tileseek_iterations:t.iterations t.arch prefill t.strategy in
+  Json.Obj
+    [
+      ("schema", Json.Str payload_schema);
+      ("key", Exp_common.Key.to_json key);
+      ("gen", Json.Int cls.Traffic.gen);
+    ]
+
+let costs t ~cls =
+  Tf_parallel.Memo.find_or_compute t.memo (cls.Traffic.prompt, cls.Traffic.gen) (fun () ->
+      match t.cache with
+      | None -> of_metrics (metrics t ~cls)
+      | Some cache -> (
+          let line =
+            Tf_serve.Cache.find_or_compute cache ~key_json:(key_json t ~cls) (fun () ->
+                render_payload (of_metrics (metrics t ~cls)))
+          in
+          match parse_payload line with
+          | Some c -> c
+          | None -> of_metrics (metrics t ~cls)))
+
+let token_s c ~gen ~i =
+  if gen <= 1 then c.token_s_first
+  else
+    let u = float_of_int (i - 1) /. float_of_int (gen - 1) in
+    (* Exact at both endpoints: u = 0 and u = 1 reproduce the stored
+       floats bit-for-bit, which the differential test pins. *)
+    ((1. -. u) *. c.token_s_first) +. (u *. c.token_s_last)
+
+let arch t = t.arch
+let model t = t.model
+let strategy t = t.strategy
+let iterations t = t.iterations
+
+let stats t =
+  (Tf_parallel.Memo.length t.memo, Tf_parallel.Memo.evictions t.memo, Atomic.get t.computes)

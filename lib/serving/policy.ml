@@ -1,0 +1,19 @@
+type view = { free_slots : int; running : int; queued : int }
+type t = { name : string; admit : view -> int }
+
+let static =
+  {
+    name = "static";
+    admit = (fun v -> if v.running = 0 then min v.free_slots v.queued else 0);
+  }
+
+let continuous = { name = "continuous"; admit = (fun v -> min v.free_slots v.queued) }
+
+let interleaved =
+  {
+    name = "interleaved";
+    admit = (fun v -> if v.free_slots > 0 && v.queued > 0 then 1 else 0);
+  }
+
+let all = [ static; continuous; interleaved ]
+let of_name n = List.find_opt (fun p -> p.name = n) all

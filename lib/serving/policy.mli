@@ -1,0 +1,46 @@
+(** Pluggable admission/batching policies.
+
+    The simulator asks the policy one question, at every scheduling
+    boundary: {e how many queued requests may join the running batch
+    right now?}  Everything else — arrival ingestion, feasibility
+    clamping ({!Simulator} rechecks {!Transfusion.Buffer_req.fits_decode}
+    and never admits past it), step costing, preemption — is engine
+    mechanics shared by all policies, so a policy is just a named
+    admission rule over the engine's read-only view.
+
+    The three shipped policies span the serving design space the
+    TransFusion ROADMAP cares about:
+    - {!static}: classic static batching — admit only into an {e empty}
+      accelerator, then run that batch to completion.  Arrivals behind a
+      long batch wait for its stragglers (the head-of-line blocking that
+      motivates continuous batching).
+    - {!continuous}: continuous batching — fill every free slot at every
+      step boundary; requests join and leave the batch per decode step.
+    - {!interleaved}: prefill/decode interleaving — continuous batching
+      that admits at most one request per boundary, so each decode step
+      pays for at most one prefill stall.  Decode-latency-friendly under
+      bursts at the price of slower batch ramp-up. *)
+
+type view = {
+  free_slots : int;  (** capacity minus running batch size *)
+  running : int;  (** requests currently in the decode batch *)
+  queued : int;  (** admissible requests waiting (already arrived) *)
+}
+
+type t = {
+  name : string;  (** stable identifier (reports, CLI, golden files) *)
+  admit : view -> int;
+      (** How many queued requests to admit now.  The engine clamps the
+          answer to [0 .. min free_slots queued] and to KV-cache
+          feasibility, so policies may over-ask safely. *)
+}
+
+val static : t
+val continuous : t
+val interleaved : t
+
+val all : t list
+(** The shipped policies, in comparison order (static, continuous,
+    interleaved). *)
+
+val of_name : string -> t option

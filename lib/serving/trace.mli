@@ -1,0 +1,21 @@
+(** Perfetto rendering of a serving simulation: the engine's virtual
+    timeline through {!Tf_report.Sim_trace.spans_document}.
+
+    Tracks (1 trace microsecond = 1 virtual microsecond):
+    - {e engine}: one slice per prefill, and one per {e decode run} —
+      consecutive steps with identical batch membership merged, so a
+      steady batch renders as one slice instead of thousands;
+    - one track per request (capped — see [max_request_tracks]):
+      queued / prefill / decode phases of its lifetime;
+    - counter series [queue_depth] (waiting requests) and [batch_size]
+      (running decode batch, sampled at step boundaries). *)
+
+val max_request_tracks : int
+(** Per-request tracks rendered before the remainder is elided (256) —
+    a 10k-request window must not emit 10k thread-metadata rows. *)
+
+val document : Simulator.report -> Tf_experiments.Export.Json.t
+(** The [transfusion.simtrace/1] document of the run's serving window. *)
+
+val write : path:string -> Simulator.report -> unit
+(** {!document} through {!Tf_report.Sim_trace.write} (["-"] = stdout). *)

@@ -1,0 +1,169 @@
+(* Seeded traffic generation.  The PRNG is SplitMix64 with the same
+   finalizer constants as test/qgen.ml: a 64-bit counter stream hashed
+   by a fixed mixer, with [split] forking an independent child from the
+   next output.  Each request owns a child stream, so the class drawn
+   for request [i] does not depend on how many numbers the arrival
+   process consumed before it. *)
+
+type rng = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let next_int64 r =
+  r.state <- Int64.add r.state golden_gamma;
+  let z = r.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let rng_of_seed seed = { state = Int64.of_int seed }
+let split r = { state = next_int64 r }
+
+(* 53 mantissa bits, shifted into (0, 1]: (bits + 1) / 2^53 — never 0,
+   so [-. log u] is always finite. *)
+let uniform r =
+  let bits = Int64.shift_right_logical (next_int64 r) 11 in
+  (Int64.to_float bits +. 1.) *. 0x1p-53
+
+let exponential r ~rate =
+  if rate <= 0. then invalid_arg "Traffic.exponential: non-positive rate";
+  -.log (uniform r) /. rate
+
+(* ------------------------------------------------------------------ *)
+(* Request classes                                                     *)
+
+type cls = { prompt : int; gen : int; weight : float }
+
+let default_classes =
+  [
+    { prompt = 256; gen = 64; weight = 3. };
+    { prompt = 512; gen = 128; weight = 2. };
+    { prompt = 1024; gen = 256; weight = 1. };
+  ]
+
+let valid_cls c = c.prompt > 0 && c.gen > 0 && c.weight > 0.
+
+let parse_classes s =
+  let parse_one spec =
+    match String.split_on_char ':' spec with
+    | [ p; g; w ] -> (
+        match (int_of_string_opt p, int_of_string_opt g, float_of_string_opt w) with
+        | Some prompt, Some gen, Some weight when valid_cls { prompt; gen; weight } ->
+            Ok { prompt; gen; weight }
+        | _ -> Error (Printf.sprintf "bad class %S (positive PROMPT:GEN:WEIGHT)" spec))
+    | _ -> Error (Printf.sprintf "bad class %S (expected PROMPT:GEN:WEIGHT)" spec)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | spec :: rest -> ( match parse_one spec with Ok c -> go (c :: acc) rest | Error e -> Error e)
+  in
+  match String.split_on_char ',' (String.trim s) with
+  | [] | [ "" ] -> Error "empty class list"
+  | specs -> go [] specs
+
+let pick_class rng classes =
+  let total = List.fold_left (fun acc c -> acc +. c.weight) 0. classes in
+  let x = uniform rng *. total in
+  let rec go acc = function
+    | [ c ] -> c
+    | c :: rest -> if x <= acc +. c.weight then c else go (acc +. c.weight) rest
+    | [] -> assert false
+  in
+  go 0. classes
+
+(* ------------------------------------------------------------------ *)
+(* Arrival processes                                                   *)
+
+type process =
+  | Poisson
+  | Bursty of { mean_burst : int; boost : float }
+  | Diurnal of { period_s : float; depth : float }
+
+let process_name = function
+  | Poisson -> "poisson"
+  | Bursty _ -> "bursty"
+  | Diurnal _ -> "diurnal"
+
+let default_process = function
+  | "poisson" -> Some Poisson
+  | "bursty" -> Some (Bursty { mean_burst = 8; boost = 8. })
+  | "diurnal" -> Some (Diurnal { period_s = 64.; depth = 0.8 })
+  | _ -> None
+
+type request = { id : int; arrival_s : float; cls : cls }
+
+type t = {
+  seed : int;
+  process : process;
+  rate_qps : float;
+  classes : cls list;
+  requests : request list;
+}
+
+(* The arrival-time stream: a stateful [next] that advances a virtual
+   clock by one inter-arrival per call.  All three processes are
+   constructed so the long-run mean rate is [rate]. *)
+let arrival_stream rng rate = function
+  | Poisson ->
+      let t = ref 0. in
+      fun () ->
+        t := !t +. exponential rng ~rate;
+        !t
+  | Bursty { mean_burst; boost } ->
+      if mean_burst < 1 then invalid_arg "Traffic.generate: mean_burst < 1";
+      if boost <= 1. then invalid_arg "Traffic.generate: boost <= 1";
+      (* Bursts of geometric size (mean [mean_burst]) arrive [boost]x
+         faster than the mean rate; the idle gap before each burst
+         restores the long-run budget: a burst of size [k] consumes
+         [k/rate] of expected budget but only [k/(rate*boost)] of
+         expected burst time, so the gap's mean is the difference. *)
+      let t = ref 0. in
+      let left = ref 0 in
+      let geometric () =
+        (* Mean [mean_burst], support >= 1. *)
+        let p = 1. /. float_of_int mean_burst in
+        1 + int_of_float (floor (log (uniform rng) /. log (1. -. p)))
+      in
+      fun () ->
+        if !left = 0 then begin
+          let k = geometric () in
+          left := k;
+          let gap_mean = float_of_int k /. rate *. (1. -. (1. /. boost)) in
+          t := !t +. exponential rng ~rate:(1. /. gap_mean)
+        end;
+        decr left;
+        t := !t +. exponential rng ~rate:(rate *. boost);
+        !t
+  | Diurnal { period_s; depth } ->
+      if period_s <= 0. then invalid_arg "Traffic.generate: period <= 0";
+      if depth < 0. || depth >= 1. then invalid_arg "Traffic.generate: depth outside [0,1)";
+      (* Lewis-Shedler thinning against the peak rate. *)
+      let rate_max = rate *. (1. +. depth) in
+      let lambda t = rate *. (1. +. (depth *. sin (2. *. Float.pi *. t /. period_s))) in
+      let t = ref 0. in
+      fun () ->
+        let rec accept () =
+          t := !t +. exponential rng ~rate:rate_max;
+          if uniform rng *. rate_max <= lambda !t then !t else accept ()
+        in
+        accept ()
+
+let generate ?(classes = default_classes) ~seed ~rate_qps ~n process =
+  if n <= 0 then invalid_arg "Traffic.generate: non-positive request count";
+  if rate_qps <= 0. then invalid_arg "Traffic.generate: non-positive rate";
+  if classes = [] || not (List.for_all valid_cls classes) then
+    invalid_arg "Traffic.generate: invalid class mix";
+  let master = rng_of_seed seed in
+  let arrivals_rng = split master in
+  let next = arrival_stream arrivals_rng rate_qps process in
+  (* Explicit loop: [next] and [split] are stateful, so the generation
+     order must be the id order ([List.init]'s is unspecified). *)
+  let requests = ref [] in
+  for id = 0 to n - 1 do
+    let arrival_s = next () in
+    (* Class choice from the request's own child stream. *)
+    let cls = pick_class (split master) classes in
+    requests := { id; arrival_s; cls } :: !requests
+  done;
+  let requests = List.rev !requests in
+  { seed; process; rate_qps; classes; requests }
