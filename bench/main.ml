@@ -346,7 +346,7 @@ let serve_bench () =
           seq)
       [ 1024; 2048; 3072; 4096; 5120; 6144 ]
   in
-  let time_pass reqs =
+  let time_pass_on server reqs =
     let t0 = Unix.gettimeofday () in
     List.iter
       (fun r ->
@@ -357,6 +357,7 @@ let serve_bench () =
       reqs;
     Unix.gettimeofday () -. t0
   in
+  let time_pass = time_pass_on server in
   let count_misses () =
     Option.value ~default:0
       (Tf_obs.counter_value (Tf_obs.snapshot ()) "memo.serve.schedule.misses_total")
@@ -370,12 +371,58 @@ let serve_bench () =
     failwith
       (Printf.sprintf "serve bench: cold pass took %d misses for %d distinct keys"
          (count_misses ()) n_cold);
-  let warm_rounds = if quick then 10 else 50 in
-  let warm_reqs = List.concat (List.init warm_rounds (fun _ -> requests)) in
-  let n_warm = List.length warm_reqs in
-  let warm_s = time_pass warm_reqs in
+  (* Telemetry tax: the identical warm pass through a second server
+     running the full observability pipeline — sampler thread feeding
+     the stats window, process/GC gauges, a per-request access-log
+     record.  The two servers are timed in interleaved blocks because
+     the process drifts (heap growth, GC pressure) over the bench run:
+     back-to-back measurement charges that drift entirely to whichever
+     server runs second and can fabricate (or mask) tens of percent.
+     Each block is scored separately and the per-server estimate is the
+     fastest block: GC pauses and scheduler preemption only ever add
+     time, so min-of-blocks converges on the true cost while a sum (or
+     mean) inherits whichever outliers landed in it — on this runner
+     the run-to-run spread of the summed estimate is 2-3x the effect
+     being measured.  The issue's acceptance bar is <= 5% overhead on
+     serve/qps-warm; bench_diff gates the absolute entry, and the
+     in-bench check only trips on something structurally wrong (an
+     accidental flush or sample per request), not runner jitter. *)
+  let tmp_log = Filename.temp_file "tf_bench_access" ".log" in
+  let t_server =
+    Tf_serve.Server.create
+      {
+        Tf_serve.Server.default_config with
+        access_log = Some tmp_log;
+        sample_interval_s = 0.1;
+      }
+  in
+  List.iter (fun r -> ignore (Tf_serve.Server.handle_line t_server r : string)) requests;
+  Tf_serve.Telemetry.start (Tf_serve.Server.telemetry t_server);
+  let warm_rounds = if quick then 800 else 2000 in
+  let blocks = 10 in
+  let block_reqs = List.concat (List.init (warm_rounds / blocks) (fun _ -> requests)) in
+  (* One untimed block each so both servers enter measurement in the
+     same steady state. *)
+  ignore (time_pass block_reqs : float);
+  ignore (time_pass_on t_server block_reqs : float);
+  let warm_min = ref Float.infinity and tel_min = ref Float.infinity in
+  for _ = 1 to blocks do
+    warm_min := Float.min !warm_min (time_pass block_reqs);
+    tel_min := Float.min !tel_min (time_pass_on t_server block_reqs)
+  done;
+  let warm_s = !warm_min and tel_s = !tel_min in
+  Tf_serve.Telemetry.stop (Tf_serve.Server.telemetry t_server);
+  (match Tf_serve.Server.access_log t_server with
+  | Some log -> Tf_serve.Access_log.close log
+  | None -> ());
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    (tmp_log :: List.init 8 (fun i -> Printf.sprintf "%s.%d" tmp_log (i + 1)));
+  let n_warm = List.length block_reqs in
   let per_req ns total = ns *. 1e9 /. float_of_int total in
-  let cold_ns = per_req cold_s n_cold and warm_ns = per_req warm_s n_warm in
+  let cold_ns = per_req cold_s n_cold
+  and warm_ns = per_req warm_s n_warm
+  and tel_ns = per_req tel_s n_warm in
   let qps n s = if s > 0. then float_of_int n /. s else Float.nan in
   Printf.printf "%-50s %16.1f ns/req   (%.1f qps, %d requests)\n" "serve/qps-cold" cold_ns
     (qps n_cold cold_s) n_cold;
@@ -388,7 +435,19 @@ let serve_bench () =
   Printf.printf "warm speedup %.1fx; schedule cache: %d hits, %d misses (hit rate %.3f)\n"
     (cold_ns /. warm_ns) hits misses
     (if hits + misses > 0 then float_of_int hits /. float_of_int (hits + misses) else 0.);
-  [ ("serve/qps-cold", cold_ns, None); ("serve/qps-warm", warm_ns, None) ]
+  let overhead = (tel_ns -. warm_ns) /. warm_ns *. 100. in
+  Printf.printf "%-50s %16.1f ns/req   (%.1f qps, %d requests)\n" "serve/qps-warm-telemetry"
+    tel_ns (qps n_warm tel_s) n_warm;
+  Printf.printf "telemetry overhead on warm path: %+.1f%%\n" overhead;
+  if overhead > 50. then
+    failwith
+      (Printf.sprintf "serve bench: telemetry overhead %.1f%% — per-request sampling or flushing?"
+         overhead);
+  [
+    ("serve/qps-cold", cold_ns, None);
+    ("serve/qps-warm", warm_ns, None);
+    ("serve/qps-warm-telemetry", tel_ns, None);
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Part 4: the continuous-batching simulator's steady state.

@@ -186,7 +186,8 @@ let eval_cmd =
       $ iterations_arg $ json_arg $ sim_trace_arg)
 
 let serve_cmd =
-  let run obs socket tcp cache_dir cache_entries grid =
+  let run obs socket tcp cache_dir cache_entries grid access_log access_log_max_bytes
+      access_log_max_files sample_interval window =
     obs @@ fun () ->
     let config =
       {
@@ -195,6 +196,11 @@ let serve_cmd =
         cache_dir;
         cache_entries;
         grid;
+        access_log;
+        access_log_max_bytes;
+        access_log_max_files;
+        sample_interval_s = sample_interval;
+        window;
       }
     in
     let server = Tf_serve.Server.create config in
@@ -237,13 +243,46 @@ let serve_cmd =
             "Sequence-length bucket width: off-grid schedule queries answer from the nearest \
              bucket with interpolated costs.  0 disables bucketing.")
   in
+  let access_log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:
+            "Write one transfusion.access/1 NDJSON record per request to $(docv) (correlation \
+             id, cache tier, latency, outcome), with size-bounded rotation.")
+  in
+  let access_log_max_bytes_arg =
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "access-log-max-bytes" ] ~docv:"N" ~doc:"Rotate the access log past $(docv) bytes.")
+  in
+  let access_log_max_files_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "access-log-max-files" ] ~docv:"N" ~doc:"Rotated access-log generations kept.")
+  in
+  let sample_interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "sample-interval" ] ~docv:"SECONDS"
+          ~doc:"Telemetry sampler period (feeds the stats window).")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 120
+      & info [ "window" ] ~docv:"N" ~doc:"Telemetry window capacity, in samples.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the persistent scheduling daemon (newline-delimited JSON over a Unix socket; see \
           README for the wire protocol)")
     Term.(
-      const run $ obs_term $ socket_arg $ tcp_arg $ cache_dir_arg $ cache_entries_arg $ grid_arg)
+      const run $ obs_term $ socket_arg $ tcp_arg $ cache_dir_arg $ cache_entries_arg $ grid_arg
+      $ access_log_arg $ access_log_max_bytes_arg $ access_log_max_files_arg
+      $ sample_interval_arg $ window_arg)
 
 let sweep_cmd =
   let run obs arch model quick =
@@ -1040,6 +1079,242 @@ let simulate_cmd =
       $ requests_arg $ qps_arg $ process_arg $ policy_arg $ capacity_arg $ classes_arg
       $ horizon_arg $ cache_dir_arg $ compare_arg $ json_arg $ sim_trace_arg)
 
+(* --- transfusion top: live dashboard over the daemon's stats op ------ *)
+
+let top_cmd =
+  let module R = Tf_report.Json_read in
+  (* One poll = one fresh connection (the daemon is
+     connection-per-thread; holding one open across sleeps would pin a
+     server thread for nothing), one stats request, the raw
+     transfusion.stats/1 payload back. *)
+  let fetch ~socket ~tcp ~timeout =
+    let addr =
+      match (socket, tcp) with
+      | _, Some port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+      | Some path, None -> Unix.ADDR_UNIX path
+      | None, None -> failwith "either --socket or --tcp is required"
+    in
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect fd addr;
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+        let oc = Unix.out_channel_of_descr fd in
+        output_string oc "{\"op\":\"stats\"}\n";
+        flush oc;
+        match In_channel.input_line (Unix.in_channel_of_descr fd) with
+        | None -> failwith "connection closed by server"
+        | Some line -> (
+            match Tf_serve.Protocol.result_of_line line with
+            | Some payload -> payload
+            | None -> failwith ("server error: " ^ line)))
+  in
+  let num = function R.Num f -> f | _ -> Float.nan in
+  let fields name doc = match R.find name doc with Some (R.Obj kvs) -> kvs | _ -> [] in
+  let assoc_num kvs name =
+    match List.assoc_opt name kvs with Some v -> num v | None -> Float.nan
+  in
+  let num_field entry name =
+    match R.find name entry with Some v -> num v | None -> Float.nan
+  in
+  (* Windowed delta buckets of one histogram; the emitter serialises
+     the +Inf overflow bound as null. *)
+  let buckets_of entry =
+    match R.find "buckets" entry with
+    | Some (R.List bs) ->
+        List.filter_map
+          (function
+            | R.List [ ub; R.Num n ] ->
+                let ub = match ub with R.Num f -> f | _ -> Float.infinity in
+                Some (ub, int_of_float n)
+            | _ -> None)
+          bs
+    | _ -> []
+  in
+  let render ~slos ~slo_target doc =
+    let b = Buffer.create 2048 in
+    let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+    let rates = fields "rates" doc
+    and quantiles = fields "quantiles" doc
+    and histograms = fields "histograms" doc
+    and gauges = fields "gauges" doc
+    and counters = fields "counters" doc in
+    let rate name =
+      let r = assoc_num rates name in
+      if Float.is_nan r then 0. else r
+    in
+    let top_num name = match R.find name doc with Some v -> num v | None -> Float.nan in
+    (* The per-op counters exist from server creation, so the table has
+       a stable row set even before any traffic. *)
+    let ops =
+      List.filter_map
+        (fun (name, _) ->
+          match String.split_on_char '.' name with
+          | [ "serve"; op; "requests_total" ] -> Some op
+          | _ -> None)
+        counters
+      |> List.sort_uniq compare
+    in
+    let span = top_num "span_s" in
+    let qps =
+      List.fold_left
+        (fun acc op -> acc +. rate (Printf.sprintf "serve.%s.requests_total" op))
+        0. ops
+    in
+    let ms f = if Float.is_nan f then "-" else Printf.sprintf "%.2f" (f *. 1000.) in
+    let pct f = if Float.is_nan f then "-" else Printf.sprintf "%.1f%%" f in
+    p "transfusion top | qps %.1f | window %s (%d samples) | connections %.0f | uptime %.0fs\n"
+      qps
+      (if Float.is_nan span then "warming up" else Printf.sprintf "%.1fs" span)
+      (int_of_float (Float.max 0. (top_num "window_samples")))
+      (assoc_num gauges "serve.connections_active")
+      (assoc_num gauges "process.uptime_seconds");
+    p "\n%-10s %9s %9s %9s %9s %9s %8s\n" "endpoint" "qps" "p50(ms)" "p95(ms)" "p99(ms)"
+      "fail/s" "burn";
+    List.iter
+      (fun op ->
+        let lat = Printf.sprintf "serve.%s.latency_seconds" op in
+        let p50, p95, p99 =
+          match List.assoc_opt lat quantiles with
+          | Some entry -> (num_field entry "p50", num_field entry "p95", num_field entry "p99")
+          | None -> (Float.nan, Float.nan, Float.nan)
+        in
+        (* Error-budget burn: the windowed miss fraction over the SLO
+           threshold, relative to the allowed miss budget (1 - target).
+           1.0x means burning exactly at budget; above it the budget
+           shrinks. *)
+        let burn =
+          match List.assoc_opt op slos with
+          | None -> "-"
+          | Some slo_s -> (
+              match List.assoc_opt lat histograms with
+              | None -> "-"
+              | Some entry ->
+                  let frac = Tf_obs.fraction_le (buckets_of entry) slo_s in
+                  if Float.is_nan frac then "-"
+                  else
+                    Printf.sprintf "%.2fx"
+                      ((1. -. frac) /. Float.max 1e-9 (1. -. slo_target)))
+        in
+        p "%-10s %9.1f %9s %9s %9s %9.2f %8s\n" op
+          (rate (Printf.sprintf "serve.%s.requests_total" op))
+          (ms p50) (ms p95) (ms p99)
+          (rate (Printf.sprintf "serve.%s.failures_total" op))
+          burn)
+      ops;
+    let hit_pct h m =
+      let t = h +. m in
+      if t <= 0. then Float.nan else 100. *. h /. t
+    in
+    p "\ncache: memory %s hit | disk %s hit | computed/s %.1f\n"
+      (pct
+         (hit_pct
+            (rate "memo.serve.schedule.hits_total")
+            (rate "memo.serve.schedule.misses_total")))
+      (pct (hit_pct (rate "serve.cache.disk_hits_total") (rate "serve.cache.disk_misses_total")))
+      (rate "serve.cache.disk_misses_total");
+    p "gc: minor/s %.1f | major/s %.2f | heap %.3e words | alloc/s %.3e words | rss %.0f MB\n"
+      (rate "process.gc.minor_collections_total")
+      (rate "process.gc.major_collections_total")
+      (assoc_num gauges "process.gc.heap_words")
+      (rate "process.gc.allocated_words_total")
+      (assoc_num gauges "process.max_rss_bytes" /. 1048576.);
+    Buffer.contents b
+  in
+  let run socket tcp interval once json timeout slo_specs slo_target =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    try
+      let slos =
+        List.map
+          (fun spec ->
+            match String.split_on_char '=' spec with
+            | [ op; v ] -> (
+                match float_of_string_opt v with
+                | Some s -> (op, s)
+                | None -> failwith (Printf.sprintf "bad --slo %S (expected OP=SECONDS)" spec))
+            | _ -> failwith (Printf.sprintf "bad --slo %S (expected OP=SECONDS)" spec))
+          slo_specs
+      in
+      let poll () =
+        let payload = fetch ~socket ~tcp ~timeout in
+        if json then print_endline payload
+        else begin
+          let screen = render ~slos ~slo_target (R.parse payload) in
+          if not once then print_string "\027[2J\027[H";
+          print_string screen;
+          flush stdout
+        end
+      in
+      if once then poll ()
+      else
+        while true do
+          poll ();
+          Unix.sleepf interval
+        done
+    with
+    | Failure msg ->
+        Fmt.epr "transfusion top: %s@." msg;
+        exit 1
+    | Unix.Unix_error (e, _, _) ->
+        Fmt.epr "transfusion top: %s@." (Unix.error_message e);
+        exit 1
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) (Some "transfusion.sock")
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon's Unix-domain socket path.")
+  in
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT" ~doc:"Connect to loopback TCP port $(docv) instead.")
+  in
+  let interval_arg =
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SECONDS" ~doc:"Polling period.")
+  in
+  let once_arg =
+    Arg.(value & flag & info [ "once" ] ~doc:"Poll once and exit (no screen clearing).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the raw transfusion.stats/1 payload instead of the dashboard (NDJSON when \
+             polling).")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 10.
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-poll receive timeout.")
+  in
+  let slo_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "slo" ] ~docv:"OP=SECONDS"
+          ~doc:
+            "Latency SLO threshold for an endpoint, e.g. schedule=0.050 (repeatable).  Adds an \
+             error-budget burn column: windowed miss fraction over the threshold divided by the \
+             allowed miss budget.")
+  in
+  let slo_target_arg =
+    Arg.(
+      value & opt float 0.99
+      & info [ "slo-target" ] ~docv:"FRACTION"
+          ~doc:"SLO attainment target the burn rate is measured against.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard over a running daemon's stats op: windowed QPS, per-endpoint latency \
+          quantiles, cache hit rates, GC pressure and SLO burn")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ interval_arg $ once_arg $ json_arg $ timeout_arg
+      $ slo_arg $ slo_target_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info = Cmd.info "transfusion" ~version:"1.0.0" ~doc:"TransFusion end-to-end Transformer scheduling framework" in
@@ -1052,6 +1327,7 @@ let () =
          decode_cmd;
          simulate_cmd;
          serve_cmd;
+         top_cmd;
          figures_cmd;
          ablations_cmd;
          structures_cmd;

@@ -5,10 +5,22 @@
 #include <caml/mlvalues.h>
 #include <caml/alloc.h>
 #include <time.h>
+#include <sys/resource.h>
 
 CAMLprim value tf_obs_monotonic_ns(value unit)
 {
   struct timespec ts;
   clock_gettime(CLOCK_MONOTONIC, &ts);
   return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}
+
+/* Peak resident set size in bytes.  ru_maxrss is kilobytes on Linux
+   and bytes on macOS; this tree targets Linux, so scale by 1024 and
+   accept the harmless macOS overcount in dev builds.  Errors read as
+   zero — a gauge that cannot be sampled is not worth an exception. */
+CAMLprim value tf_obs_maxrss_bytes(value unit)
+{
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return caml_copy_int64(0);
+  return caml_copy_int64((int64_t)ru.ru_maxrss * 1024);
 }

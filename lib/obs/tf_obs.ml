@@ -289,6 +289,411 @@ let render_snapshot snap =
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
+(* Histogram quantile estimation                                       *)
+
+(* Estimate the q-quantile from fixed-bucket occupancy (the snapshot's
+   per-bucket counts, last bound [infinity]), Prometheus-style: find
+   the bucket holding rank q*total and interpolate linearly inside it,
+   assuming observations spread uniformly across the bucket.  The
+   scheme is designed for non-negative observations (latencies): the
+   first bucket's lower edge is 0 unless its bound is itself negative,
+   in which case the bound is returned exactly.  Rank landing in the
+   overflow bucket answers the highest finite bound — the estimator
+   never invents values beyond what the buckets witnessed.  Empty
+   buckets (or q outside [0,1]) answer NaN. *)
+let quantile ~q buckets =
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 buckets in
+  if total = 0 || q < 0. || q > 1. || Float.is_nan q then Float.nan
+  else begin
+    let rank = q *. float_of_int total in
+    let clamp f = Float.max 0. (Float.min 1. f) in
+    let rec go lower cum = function
+      | [] -> ( match lower with Some l -> l | None -> Float.nan)
+      | (ub, n) :: rest ->
+          let cum' = cum + n in
+          if n > 0 && float_of_int cum' >= rank then
+            if ub = Float.infinity then
+              (* All we know is "past the last finite bound". *)
+              match lower with Some l -> l | None -> Float.nan
+            else
+              let lo =
+                match lower with Some l -> l | None -> Float.min 0. ub
+              in
+              lo +. ((ub -. lo) *. clamp ((rank -. float_of_int cum) /. float_of_int n))
+          else go (if ub = Float.infinity then lower else Some ub) cum' rest
+    in
+    go None 0 buckets
+  end
+
+(* The matching CDF estimate: the fraction of observations <= x under
+   the same per-bucket uniformity assumption.  Mass in the overflow
+   bucket counts as > x (there is no width to interpolate over), so SLO
+   burn computed from this is conservative. *)
+let fraction_le buckets x =
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 buckets in
+  if total = 0 then Float.nan
+  else begin
+    let clamp f = Float.max 0. (Float.min 1. f) in
+    let rec go lower cum = function
+      | [] -> 1.
+      | (ub, n) :: rest ->
+          if ub <> Float.infinity && x >= ub then go (Some ub) (cum + n) rest
+          else
+            let inside =
+              if ub = Float.infinity then 0.
+              else
+                let lo = match lower with Some l -> l | None -> Float.min 0. ub in
+                if ub = lo then 1. else clamp ((x -. lo) /. (ub -. lo))
+            in
+            (float_of_int cum +. (float_of_int n *. inside)) /. float_of_int total
+    in
+    go None 0 buckets
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Windowed time series                                                *)
+
+(* A bounded ring of timestamped snapshots.  A sampler (thread, bench
+   loop, test) calls [record] periodically; [stats] derives what the
+   cumulative registry cannot show: per-second counter rates and
+   histogram quantiles over the window — the difference between "the
+   daemon has served 10^9 requests" and "it is serving 400 qps at 12ms
+   p95 right now".  Thread-safe: one mutex guards the ring (recording
+   is O(registry), far off any hot path). *)
+module Window = struct
+  type sample = { ts_ns : int64; snap : snapshot }
+
+  type t = {
+    cap : int;
+    ring : sample option array;
+    mutable head : int;  (* next write position *)
+    mutable count : int;
+    lock : Mutex.t;
+  }
+
+  let create ?(capacity = 120) () =
+    if capacity < 2 then invalid_arg "Tf_obs.Window.create: capacity must be >= 2";
+    { cap = capacity; ring = Array.make capacity None; head = 0; count = 0; lock = Mutex.create () }
+
+  let capacity t = t.cap
+
+  let length t =
+    Mutex.lock t.lock;
+    let n = t.count in
+    Mutex.unlock t.lock;
+    n
+
+  let record t =
+    let s = { ts_ns = now_ns (); snap = snapshot () } in
+    Mutex.lock t.lock;
+    t.ring.(t.head) <- Some s;
+    t.head <- (t.head + 1) mod t.cap;
+    if t.count < t.cap then t.count <- t.count + 1;
+    Mutex.unlock t.lock
+
+  (* Oldest and newest retained samples, atomically. *)
+  let bounds t =
+    Mutex.lock t.lock;
+    let r =
+      if t.count < 2 then None
+      else
+        let newest = t.ring.((t.head + t.cap - 1) mod t.cap) in
+        let oldest = if t.count < t.cap then t.ring.(0) else t.ring.(t.head) in
+        match (oldest, newest) with Some o, Some n -> Some (o, n) | _ -> None
+    in
+    Mutex.unlock t.lock;
+    r
+
+  type stats = {
+    samples : int;
+    span_s : float;  (** seconds between the oldest and newest sample *)
+    delta : snapshot;  (** {!Snapshot.diff} oldest -> newest *)
+    rates : (string * float) list;  (** counters: delta per second *)
+    quantiles : (string * (float * float * float)) list;
+        (** histograms: windowed (p50, p95, p99) over the delta buckets *)
+  }
+
+  let stats t =
+    match bounds t with
+    | None -> None
+    | Some (oldest, newest) ->
+        let span_s = Int64.to_float (Int64.sub newest.ts_ns oldest.ts_ns) /. 1e9 in
+        if span_s <= 0. then None
+        else
+          let delta = Snapshot.diff ~before:oldest.snap newest.snap in
+          let rates =
+            List.filter_map
+              (fun (name, v) ->
+                match v with
+                | Counter_v d -> Some (name, float_of_int d /. span_s)
+                | _ -> None)
+              delta
+          in
+          let quantiles =
+            List.filter_map
+              (fun (name, v) ->
+                match v with
+                | Histogram_v { buckets; _ } ->
+                    Some
+                      ( name,
+                        ( quantile ~q:0.50 buckets,
+                          quantile ~q:0.95 buckets,
+                          quantile ~q:0.99 buckets ) )
+                | _ -> None)
+              delta
+          in
+          let samples = length t in
+          Some { samples; span_s; delta; rates; quantiles }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Process and runtime gauges                                          *)
+
+(* Uptime, peak RSS and OCaml GC pressure, published through the same
+   registry so one scrape carries them.  Monotonic GC statistics are
+   real counters (windowed rates make "minor collections per second"
+   meaningful); [sample] applies the delta since the previous sample
+   under a lock, so concurrent samplers never double-count.  Mutations
+   ride the global [enabled] flag like every other site: a disabled
+   sample is skipped entirely (including the last-seen bookkeeping, so
+   nothing is lost across an enable). *)
+module Process = struct
+  external maxrss_bytes : unit -> int64 = "tf_obs_maxrss_bytes"
+
+  let start_ns = now_ns ()
+
+  type state = {
+    uptime : gauge;
+    rss : gauge;
+    heap : gauge;
+    minor : counter;
+    major : counter;
+    compactions : counter;
+    allocated : counter;
+    lock : Mutex.t;
+    mutable last_minor : int;
+    mutable last_major : int;
+    mutable last_compactions : int;
+    mutable last_allocated : float;
+  }
+
+  let state =
+    lazy
+      {
+        uptime = Gauge.create ~help:"seconds since process start" "process.uptime_seconds";
+        rss = Gauge.create ~help:"peak resident set size (bytes)" "process.max_rss_bytes";
+        heap = Gauge.create ~help:"OCaml major heap size (words)" "process.gc.heap_words";
+        minor =
+          Counter.create ~help:"OCaml minor collections" "process.gc.minor_collections_total";
+        major =
+          Counter.create ~help:"OCaml major collection cycles" "process.gc.major_collections_total";
+        compactions = Counter.create ~help:"OCaml heap compactions" "process.gc.compactions_total";
+        allocated =
+          Counter.create ~help:"words allocated on the OCaml heap"
+            "process.gc.allocated_words_total";
+        lock = Mutex.create ();
+        last_minor = 0;
+        last_major = 0;
+        last_compactions = 0;
+        last_allocated = 0.;
+      }
+
+  let register () = ignore (Lazy.force state : state)
+
+  let sample () =
+    if enabled () then begin
+      let s = Lazy.force state in
+      Mutex.lock s.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock s.lock)
+        (fun () ->
+          let g = Gc.quick_stat () in
+          Gauge.set s.uptime (Int64.to_float (Int64.sub (now_ns ()) start_ns) /. 1e9);
+          Gauge.set s.rss (Int64.to_float (maxrss_bytes ()));
+          Gauge.set s.heap (float_of_int g.Gc.heap_words);
+          let bump c now last = if now > last then Counter.add c (now - last) in
+          bump s.minor g.Gc.minor_collections s.last_minor;
+          bump s.major g.Gc.major_collections s.last_major;
+          bump s.compactions g.Gc.compactions s.last_compactions;
+          let allocated = g.Gc.minor_words +. g.Gc.major_words -. g.Gc.promoted_words in
+          if allocated > s.last_allocated then
+            Counter.add s.allocated (int_of_float (allocated -. s.last_allocated));
+          s.last_minor <- g.Gc.minor_collections;
+          s.last_major <- g.Gc.major_collections;
+          s.last_compactions <- g.Gc.compactions;
+          s.last_allocated <- allocated)
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics / Prometheus text exposition                            *)
+
+(* Renders a snapshot in the OpenMetrics text format: sanitised metric
+   names, HELP/TYPE headers, [_total] counter samples, cumulative
+   [_bucket{le=...}] histogram series with [_sum]/[_count], and a
+   terminating [# EOF].  An optional [extract] hook folds families out
+   of structured registry names (e.g. [serve.ping.requests_total] ->
+   family [serve_requests_total] with label [op="ping"]), with label
+   values escaped per the spec. *)
+module Openmetrics = struct
+  let is_name_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+    || c = ':'
+
+  (* Map a registry name onto the exposition charset: every illegal
+     byte becomes '_', a leading digit gets a '_' prefix. *)
+  let metric_name s =
+    if s = "" then "_"
+    else begin
+      let b = Buffer.create (String.length s + 1) in
+      String.iteri
+        (fun i c ->
+          let c = if is_name_char c then c else '_' in
+          if i = 0 && c >= '0' && c <= '9' then Buffer.add_char b '_';
+          Buffer.add_char b c)
+        s;
+      Buffer.contents b
+    end
+
+  let escape_label_value s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '"' -> Buffer.add_string b "\\\""
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let escape_help s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let float_str f =
+    if f = Float.infinity then "+Inf"
+    else if f = Float.neg_infinity then "-Inf"
+    else if Float.is_nan f then "NaN"
+    else Printf.sprintf "%.12g" f
+
+  let labels_str = function
+    | [] -> ""
+    | kvs ->
+        let fields =
+          List.map
+            (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (metric_name k) (escape_label_value v))
+            kvs
+        in
+        Printf.sprintf "{%s}" (String.concat "," fields)
+
+  (* One bucket series must merge the [le] label with the caller's
+     labels. *)
+  let labels_with_le kvs le =
+    let fields =
+      List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (metric_name k) (escape_label_value v)) kvs
+      @ [ Printf.sprintf "le=\"%s\"" (float_str le) ]
+    in
+    Printf.sprintf "{%s}" (String.concat "," fields)
+
+  type kind = K_counter | K_gauge | K_histogram
+
+  let kind_str = function
+    | K_counter -> "counter"
+    | K_gauge -> "gauge"
+    | K_histogram -> "histogram"
+
+  let render ?(extract = fun _ -> None) (snap : snapshot) =
+    (* Families in first-appearance order; members keep snapshot order
+       (sorted by registry name, so the output is deterministic). *)
+    let order : string list ref = ref [] in
+    let families : (string, kind * string * (string * string) list * value) Hashtbl.t =
+      Hashtbl.create 32
+    in
+    let add family kind help labels v =
+      if not (Hashtbl.mem families family) then order := family :: !order;
+      Hashtbl.add families family (kind, help, labels, v)
+    in
+    List.iter
+      (fun (name, v) ->
+        let base, labels =
+          match extract name with
+          | Some (family, labels) -> (metric_name family, labels)
+          | None -> (metric_name name, [])
+        in
+        let help = help_of name in
+        match v with
+        | Counter_v _ ->
+            (* OpenMetrics: the family drops the [_total] suffix, the
+               sample line carries it. *)
+            let family =
+              if String.length base > 6 && String.sub base (String.length base - 6) 6 = "_total"
+              then String.sub base 0 (String.length base - 6)
+              else base
+            in
+            add family K_counter help labels v
+        | Gauge_v _ -> add base K_gauge help labels v
+        | Histogram_v _ -> add base K_histogram help labels v)
+      snap;
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun family ->
+        let members = List.rev (Hashtbl.find_all families family) in
+        (* A family name shared across metric kinds would be malformed
+           exposition; disambiguate the minority kinds by suffix. *)
+        let kinds = List.sort_uniq compare (List.map (fun (k, _, _, _) -> k) members) in
+        List.iter
+          (fun kind ->
+            let members = List.filter (fun (k, _, _, _) -> k = kind) members in
+            let family =
+              if List.length kinds = 1 then family
+              else Printf.sprintf "%s_%s" family (kind_str kind)
+            in
+            let help =
+              match List.find_opt (fun (_, h, _, _) -> h <> "") members with
+              | Some (_, h, _, _) -> h
+              | None -> ""
+            in
+            if help <> "" then
+              Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" family (escape_help help));
+            Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" family (kind_str kind));
+            List.iter
+              (fun (_, _, labels, v) ->
+                match v with
+                | Counter_v n ->
+                    Buffer.add_string buf
+                      (Printf.sprintf "%s_total%s %d\n" family (labels_str labels) n)
+                | Gauge_v g ->
+                    Buffer.add_string buf
+                      (Printf.sprintf "%s%s %s\n" family (labels_str labels) (float_str g))
+                | Histogram_v { count; sum; buckets } ->
+                    let cum = ref 0 in
+                    List.iter
+                      (fun (ub, n) ->
+                        cum := !cum + n;
+                        Buffer.add_string buf
+                          (Printf.sprintf "%s_bucket%s %d\n" family (labels_with_le labels ub)
+                             !cum))
+                      buckets;
+                    Buffer.add_string buf
+                      (Printf.sprintf "%s_sum%s %s\n" family (labels_str labels) (float_str sum));
+                    Buffer.add_string buf
+                      (Printf.sprintf "%s_count%s %d\n" family (labels_str labels) count))
+              members)
+          kinds)
+      (List.rev !order);
+    Buffer.add_string buf "# EOF\n";
+    Buffer.contents buf
+end
+
+(* ------------------------------------------------------------------ *)
 (* Span tracing (Chrome trace-event JSON)                              *)
 
 module Trace = struct

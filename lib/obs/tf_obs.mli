@@ -113,6 +113,100 @@ val render_snapshot : snapshot -> string
 (** Fixed-width text table, one metric per line (the [--metrics]
     output). *)
 
+val quantile : q:float -> (float * int) list -> float
+(** Estimate the [q]-quantile from per-bucket occupancy (the
+    [Histogram_v] bucket list), Prometheus-style: locate the bucket
+    holding rank [q * total] and interpolate linearly within it.  A rank
+    landing in the overflow bucket answers the highest finite bound
+    (the estimator never extrapolates past what the buckets witnessed);
+    the first bucket's lower edge is 0 for non-negative scales.  NaN
+    when the buckets are empty or [q] is outside [0, 1]. *)
+
+val fraction_le : (float * int) list -> float -> float
+(** [fraction_le buckets x] estimates the fraction of observations
+    [<= x] under the same per-bucket uniformity assumption — the CDF
+    companion to {!quantile}, used for SLO attainment.  Overflow-bucket
+    mass counts as [> x], so error budgets computed from this are
+    conservative.  NaN when the buckets are empty. *)
+
+(** A bounded ring of timestamped registry snapshots.  Feed it from a
+    periodic sampler and {!Window.stats} derives what cumulative
+    metrics cannot show: per-second counter rates and windowed
+    histogram quantiles ("400 qps at 12ms p95 right now").
+    Thread-safe. *)
+module Window : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Default capacity 120 samples (e.g. a 2-minute window at 1 Hz).
+      @raise Invalid_argument when [capacity < 2]. *)
+
+  val capacity : t -> int
+
+  val length : t -> int
+  (** Samples currently retained. *)
+
+  val record : t -> unit
+  (** Append a timestamped {!snapshot}, evicting the oldest at
+      capacity. *)
+
+  type stats = {
+    samples : int;
+    span_s : float;  (** seconds between the oldest and newest sample *)
+    delta : snapshot;  (** {!Snapshot.diff} oldest -> newest *)
+    rates : (string * float) list;  (** counters: delta per second *)
+    quantiles : (string * (float * float * float)) list;
+        (** histograms: windowed (p50, p95, p99) over the delta
+            buckets *)
+  }
+
+  val stats : t -> stats option
+  (** [None] until two samples with a positive time span exist. *)
+end
+
+(** Process and OCaml-runtime health, published through the registry so
+    one scrape carries service and runtime metrics alike: gauges
+    [process.uptime_seconds], [process.max_rss_bytes],
+    [process.gc.heap_words] and counters
+    [process.gc.{minor,major}_collections_total],
+    [process.gc.compactions_total],
+    [process.gc.allocated_words_total]. *)
+module Process : sig
+  val register : unit -> unit
+  (** Create the metrics (idempotent); until {!sample} runs they read
+      zero. *)
+
+  val sample : unit -> unit
+  (** Refresh every process gauge and advance the GC counters by the
+      delta since the previous sample.  Safe from concurrent threads;
+      no-op (including the delta bookkeeping) while {!enabled} is
+      off. *)
+end
+
+(** OpenMetrics / Prometheus text exposition for a {!snapshot}:
+    sanitised metric names, [# HELP]/[# TYPE] headers, [_total] counter
+    samples, cumulative [_bucket{le="..."}] histogram series with
+    [_sum]/[_count], and a terminating [# EOF]. *)
+module Openmetrics : sig
+  val metric_name : string -> string
+  (** Map an arbitrary registry name onto the exposition charset
+      [[a-zA-Z0-9_:]]: illegal bytes become ['_'], a leading digit gains
+      a ['_'] prefix. *)
+
+  val escape_label_value : string -> string
+  (** Escape backslash, double quote and newline per the exposition
+      format. *)
+
+  val render : ?extract:(string -> (string * (string * string) list) option) -> snapshot -> string
+  (** Render a snapshot.  [extract] optionally folds structured
+      registry names into labelled families — e.g. mapping
+      ["serve.ping.requests_total"] to
+      [("serve.requests_total", [("op", "ping")])] merges the per-op
+      series into one family distinguished by an [op] label.  Names and
+      label values are escaped; a family name shared across metric
+      kinds is disambiguated with a kind suffix. *)
+end
+
 (** Span tracing in Chrome trace-event format.  Recording is gated on
     its own flag ({!Trace.start}/{!Trace.stop}) so metrics and traces
     can be enabled independently; events buffer per domain and are

@@ -63,18 +63,34 @@ let store_disk t fp ~key_json payload =
       | () -> Tf_obs.Counter.incr t.disk_stores
       | exception Sys_error _ -> Tf_obs.Counter.incr t.disk_errors)
 
-let find_or_compute t ~key_json compute =
+type tier = Memory | Disk | Computed
+
+let tier_name = function Memory -> "memory" | Disk -> "disk" | Computed -> "computed"
+
+let find_or_compute ?report t ~key_json compute =
   let fp = fingerprint key_json in
-  Tf_parallel.Memo.find_or_compute t.memo fp (fun () ->
-      match load_disk t fp with
-      | Some payload ->
-          Tf_obs.Counter.incr t.disk_hits;
-          payload
-      | None ->
-          Tf_obs.Counter.incr t.disk_misses;
-          let payload = compute () in
-          store_disk t fp ~key_json payload;
-          payload)
+  (* The thunk runs only on a memory-tier miss, so a tier left unset
+     means the memo answered (a waiter on an in-flight computation also
+     reads as a memory hit — it paid memo latency, not compute). *)
+  let deep_tier = ref None in
+  let payload =
+    Tf_parallel.Memo.find_or_compute t.memo fp (fun () ->
+        match load_disk t fp with
+        | Some payload ->
+            Tf_obs.Counter.incr t.disk_hits;
+            deep_tier := Some Disk;
+            payload
+        | None ->
+            Tf_obs.Counter.incr t.disk_misses;
+            let payload = compute () in
+            store_disk t fp ~key_json payload;
+            deep_tier := Some Computed;
+            payload)
+  in
+  (match report with
+  | Some f -> f ~fp ~tier:(match !deep_tier with Some tier -> tier | None -> Memory)
+  | None -> ());
+  payload
 
 let memory_entries t = Tf_parallel.Memo.length t.memo
 let clear_memory t = Tf_parallel.Memo.clear t.memo

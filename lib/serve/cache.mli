@@ -28,10 +28,24 @@ val create : ?max_entries:int -> ?dir:string -> unit -> t
 val fingerprint : Tf_experiments.Export.Json.t -> string
 (** Hex digest of the compact rendering of a key document. *)
 
-val find_or_compute : t -> key_json:Tf_experiments.Export.Json.t -> (unit -> string) -> string
+type tier = Memory | Disk | Computed
+(** Which tier answered a lookup.  A waiter on an in-flight computation
+    reads as [Memory] — it paid memo latency, not compute. *)
+
+val tier_name : tier -> string
+(** ["memory"] / ["disk"] / ["computed"] (the access-log vocabulary). *)
+
+val find_or_compute :
+  ?report:(fp:string -> tier:tier -> unit) ->
+  t ->
+  key_json:Tf_experiments.Export.Json.t ->
+  (unit -> string) ->
+  string
 (** Memory tier, then disk tier, then [compute] (persisting the fresh
     payload to disk).  Concurrent callers of the same key wait for one
-    computation; [compute]'s exceptions propagate and cache nothing. *)
+    computation; [compute]'s exceptions propagate and cache nothing.
+    [report], when given, receives the key fingerprint and the
+    answering tier (request correlation for the access log). *)
 
 val memory_entries : t -> int
 val clear_memory : t -> unit

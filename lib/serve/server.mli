@@ -16,11 +16,17 @@ type config = {
   cache_dir : string option;  (** disk tier root; memory-only when absent *)
   cache_entries : int;  (** memory-tier bound (LRU) *)
   grid : int;  (** seq-len bucket width; [0] disables bucketing *)
+  access_log : string option;  (** NDJSON access-log path; off when absent *)
+  access_log_max_bytes : int;  (** per-file rotation bound *)
+  access_log_max_files : int;  (** rotated generations kept *)
+  sample_interval_s : float;  (** telemetry sampler period *)
+  window : int;  (** telemetry ring capacity (samples) *)
 }
 
 val default_config : config
-(** No sockets, no disk tier, 1024 memory entries, bucketing off —
-    callers fill in the sockets they want. *)
+(** No sockets, no disk tier, 1024 memory entries, bucketing off, no
+    access log, a 120-sample window fed at 1 Hz — callers fill in the
+    sockets they want. *)
 
 type t
 
@@ -37,7 +43,15 @@ val handle_line : t -> string -> string
     path directly.
 
     Endpoints: [ping], [schedule] (two-tier cached, seq-len bucketing
-    when [grid > 0]), [explain], [decode], [metrics], [shutdown]. *)
+    when [grid > 0]), [explain], [decode], [metrics] (cumulative JSON,
+    or OpenMetrics text with ["format":"prometheus"]), [stats]
+    (windowed [transfusion.stats/1] aggregates), [shutdown].
+
+    Every handled request lands one [transfusion.access/1] record in
+    the access log (when configured) carrying its correlation id — the
+    client's scalar ["id"] or a minted one — plus cache fingerprint,
+    answering tier, latency and outcome; the same id tags the request's
+    {!Tf_obs.Trace} span. *)
 
 val serve : t -> unit
 (** Bind the configured sockets and run the accept loop (one thread per
@@ -48,3 +62,12 @@ val serve : t -> unit
 
 val stop : t -> unit
 (** Ask the accept loop to wind down (checked at least every 200ms). *)
+
+val telemetry : t -> Telemetry.t
+(** The server's sampler/window — {!serve} runs it; embedders driving
+    {!handle_line} directly (tests, bench) start or sample it
+    themselves. *)
+
+val access_log : t -> Access_log.t option
+(** The access log, when the config enabled one (embedders flush it
+    before reading). *)

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Validate an OpenMetrics/Prometheus text exposition.
+
+Checks the line grammar and the structural conventions the TransFusion
+daemon's `metrics --format prometheus` op promises:
+
+  * every line is a `# HELP`/`# TYPE` comment, a sample, or `# EOF`;
+  * `# EOF` is the last line and appears exactly once;
+  * at most one `# TYPE` per family, and every sample belongs to a
+    declared family;
+  * counter samples carry the `_total` suffix (the family name in the
+    `# TYPE` line does not);
+  * histogram bucket series are cumulative (non-decreasing in `le`
+    order), contain an `le="+Inf"` bucket equal to `_count`, and come
+    with `_sum` and `_count`.
+
+Usage: check_openmetrics.py FILE [--require FAMILY ...]
+
+`--require` asserts a family was both declared and sampled (e.g.
+`--require serve_requests --require process_max_rss_bytes`).
+"""
+
+import argparse
+import re
+import sys
+
+NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\\n])*"'
+SAMPLE_RE = re.compile(
+    rf"^({NAME})(\{{{LABEL}(?:,{LABEL})*\}})? "
+    r"(-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|[+-]Inf|NaN)$"
+)
+HELP_RE = re.compile(rf"^# HELP ({NAME}) .+$")
+TYPE_RE = re.compile(rf"^# TYPE ({NAME}) (counter|gauge|histogram|summary|unknown)$")
+LE_RE = re.compile(r'le="((?:\\.|[^"\\])*)"')
+
+
+def fail(lineno, line, why):
+    sys.stderr.write(f"check_openmetrics: line {lineno}: {why}\n  {line}\n")
+    sys.exit(1)
+
+
+def parse_value(s):
+    if s == "+Inf":
+        return float("inf")
+    if s == "-Inf":
+        return float("-inf")
+    return float(s)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("file")
+    ap.add_argument("--require", action="append", default=[], metavar="FAMILY")
+    args = ap.parse_args()
+
+    with open(args.file, encoding="utf-8") as fh:
+        lines = fh.read().split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines:
+        sys.exit("check_openmetrics: empty exposition")
+
+    types = {}  # family -> kind
+    samples = []  # (lineno, name, labels_str, value)
+    eof_seen = False
+
+    for lineno, line in enumerate(lines, 1):
+        if eof_seen:
+            fail(lineno, line, "content after # EOF")
+        if line == "# EOF":
+            eof_seen = True
+            continue
+        if line.startswith("# HELP "):
+            if not HELP_RE.match(line):
+                fail(lineno, line, "malformed HELP line")
+            continue
+        if line.startswith("# TYPE "):
+            m = TYPE_RE.match(line)
+            if not m:
+                fail(lineno, line, "malformed TYPE line")
+            family, kind = m.group(1), m.group(2)
+            if family in types:
+                fail(lineno, line, f"duplicate TYPE for family {family}")
+            types[family] = kind
+            continue
+        if line.startswith("#"):
+            fail(lineno, line, "unrecognised comment line")
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(lineno, line, "malformed sample line")
+        samples.append((lineno, m.group(1), m.group(2) or "", m.group(3)))
+
+    if not eof_seen:
+        sys.exit("check_openmetrics: missing # EOF terminator")
+
+    def family_of(name):
+        """Resolve a sample name to its declared family and expected suffix."""
+        for suffix in ("_total", "_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                return name[: -len(suffix)], suffix
+        if name in types:
+            return name, ""
+        return None, None
+
+    sampled = set()
+    # histogram accounting: (family, labels-minus-le) -> {"buckets": [...], "sum": x, "count": n}
+    hists = {}
+
+    for lineno, name, labels, value_s in samples:
+        family, suffix = family_of(name)
+        if family is None:
+            fail(lineno, name, f"sample {name} has no declared family")
+        kind = types[family]
+        sampled.add(family)
+        value = parse_value(value_s)
+        if kind == "counter":
+            if suffix != "_total":
+                fail(lineno, name, f"counter sample must end in _total (family {family})")
+        elif kind == "gauge":
+            if suffix != "":
+                fail(lineno, name, f"gauge sample must use the bare family name")
+        elif kind == "histogram":
+            if suffix not in ("_bucket", "_sum", "_count"):
+                fail(lineno, name, f"histogram sample must be _bucket/_sum/_count")
+            le = None
+            rest = labels
+            if suffix == "_bucket":
+                m = LE_RE.search(labels)
+                if not m:
+                    fail(lineno, name, "_bucket sample without an le label")
+                le = parse_value(m.group(1))
+                rest = LE_RE.sub("", labels)
+            # Normalise so `{op="x",le="1"}` and `{op="x"}` share a key.
+            rest = rest.strip("{}").strip(",")
+            key = (family, rest)
+            acc = hists.setdefault(key, {"buckets": [], "sum": None, "count": None})
+            if suffix == "_bucket":
+                acc["buckets"].append((lineno, le, value))
+            else:
+                acc[suffix[1:]] = (lineno, value)
+
+    for (family, _), acc in hists.items():
+        buckets = acc["buckets"]
+        if not buckets:
+            sys.exit(f"check_openmetrics: histogram {family} has no _bucket series")
+        prev = None
+        for lineno, le, value in buckets:
+            if prev is not None and value < prev:
+                fail(lineno, family, "bucket series is not cumulative")
+            prev = value
+        inf_buckets = [v for _, le, v in buckets if le == float("inf")]
+        if not inf_buckets:
+            sys.exit(f"check_openmetrics: histogram {family} missing le=\"+Inf\"")
+        if acc["count"] is None:
+            sys.exit(f"check_openmetrics: histogram {family} missing _count")
+        if acc["sum"] is None:
+            sys.exit(f"check_openmetrics: histogram {family} missing _sum")
+        if inf_buckets[-1] != acc["count"][1]:
+            sys.exit(
+                f"check_openmetrics: histogram {family}: +Inf bucket "
+                f"{inf_buckets[-1]} != _count {acc['count'][1]}"
+            )
+
+    for family in args.require:
+        if family not in types:
+            sys.exit(f"check_openmetrics: required family {family} not declared")
+        if family not in sampled:
+            sys.exit(f"check_openmetrics: required family {family} has no samples")
+
+    print(
+        f"check_openmetrics: OK — {len(types)} families, {len(samples)} samples, "
+        f"{len(hists)} histogram series"
+    )
+
+
+if __name__ == "__main__":
+    main()
